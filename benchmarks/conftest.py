@@ -1,0 +1,10 @@
+"""Benchmark-suite path setup (mirrors tests/conftest.py)."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

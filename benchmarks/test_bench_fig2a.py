@@ -1,0 +1,33 @@
+"""Benchmark regenerating Figure 2a (smart backup handover).
+
+Prints the data-sequence-progress series of the master and backup subflows
+and checks the qualitative shape the paper reports: the master subflow
+stalls once the primary path becomes lossy, the controller switches when
+the RTO crosses its threshold, and the backup subflow carries the rest of
+the transfer.
+"""
+
+from repro.experiments.fig2a_backup import run_fig2a
+
+
+def test_fig2a_smart_backup_handover(benchmark):
+    result = benchmark.pedantic(lambda: run_fig2a(seed=1), rounds=1, iterations=1)
+    print()
+    print(result.format_report())
+
+    # The controller must have performed exactly one break-before-make switch,
+    # after the loss started but within a couple of seconds of it.
+    assert result.switch_time is not None
+    assert result.loss_start < result.switch_time < result.loss_start + 3.0
+
+    # Before the switch only the master carries data; after it the backup does.
+    assert result.bytes_on_primary > 0
+    assert result.bytes_on_backup > 0
+    master_at_end = result.trace.highest_seq_before(result.duration, result.primary)
+    backup_at_end = result.trace.highest_seq_before(result.duration, result.backup)
+    assert backup_at_end > master_at_end
+
+    # The master stalls after the loss starts: its progress in the second
+    # half of the run is marginal compared to the backup's.
+    master_at_switch = result.trace.highest_seq_before(result.switch_time, result.primary)
+    assert master_at_end - master_at_switch < 0.2 * backup_at_end

@@ -1,0 +1,33 @@
+"""Benchmark regenerating Figure 2b (smart streaming block-delay CDFs).
+
+Prints the per-configuration CDF table and checks the paper's qualitative
+claims: the default full-mesh path manager develops a block-delay tail that
+grows with the loss rate, while the Smart Stream controller keeps almost
+every block within its one-second deadline.
+"""
+
+from repro.experiments.fig2b_streaming import run_fig2b
+
+
+def test_fig2b_streaming_block_delays(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig2b(seed=1, block_count=25, repetitions=2, loss_percents=(10.0, 30.0)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format_report())
+
+    low_loss = result.cdfs["fullmesh 10% loss"]
+    high_loss = result.cdfs["fullmesh 30% loss"]
+    smart = result.cdfs["smart stream"]
+
+    # The tail grows with the loss rate for the default path manager.
+    assert high_loss.percentile(0.95) > low_loss.percentile(0.95)
+    assert high_loss.mean > low_loss.mean
+
+    # The smart controller keeps the delays close to the low-loss case even
+    # though it runs at the high loss rate.
+    assert smart.percentile(0.90) < 1.0
+    assert smart.mean < high_loss.mean
+    assert result.late_blocks["smart stream"] <= result.late_blocks["fullmesh 30% loss"]

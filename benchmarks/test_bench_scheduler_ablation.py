@@ -1,0 +1,55 @@
+"""Ablation: the packet scheduler the data plane uses.
+
+The paper keeps the scheduler in the kernel and uses the Linux default
+(lowest RTT).  This ablation compares the three schedulers shipped with the
+reproduction on the dual-homed topology with asymmetric path delays, to
+document that the controller results do not hinge on an exotic scheduler:
+lowest-RTT and round-robin complete a bulk transfer in similar time (both
+use both paths), while the choice mostly shifts which path carries more
+bytes.
+"""
+
+from repro.apps.bulk import BulkReceiverApp, BulkSenderApp
+from repro.mptcp.config import MptcpConfig
+from repro.mptcp.path_manager import FullMeshPathManager
+from repro.mptcp.stack import MptcpStack
+from repro.netem.scenarios import build_dual_homed
+from repro.sim.engine import Simulator
+
+SERVER_PORT = 4100
+TRANSFER = 3_000_000
+
+
+def run_with_scheduler(scheduler: str) -> float:
+    sim = Simulator(seed=9)
+    scenario = build_dual_homed(sim, rate_mbps=8.0, delay_ms=10.0)
+    receivers = []
+    config = MptcpConfig(scheduler=scheduler)
+    server_stack = MptcpStack(sim, scenario.server, config=config)
+    server_stack.listen(SERVER_PORT, lambda: receivers.append(BulkReceiverApp()) or receivers[-1])
+    client_stack = MptcpStack(sim, scenario.client, config=config, path_manager=FullMeshPathManager())
+    sender = BulkSenderApp(TRANSFER)
+    client_stack.connect(scenario.server_addresses[0], SERVER_PORT, listener=sender,
+                         local_address=scenario.client_addresses[0])
+    sim.run(until=60.0)
+    assert sender.completed
+    return sender.completion_time
+
+
+def test_scheduler_ablation(benchmark):
+    results = benchmark.pedantic(
+        lambda: {name: run_with_scheduler(name) for name in ("lowest_rtt", "round_robin", "redundant")},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for name, completion in results.items():
+        print(f"  {name:<12} {completion:.3f} s for {TRANSFER} bytes")
+
+    # Every scheduler completes the transfer in a reasonable time (the
+    # transfer is short, so slow-start transients dominate and none of them
+    # reaches the 2x aggregate of a long flow), and the default lowest-RTT
+    # scheduler is competitive with the alternatives.
+    assert all(value < 6.0 for value in results.values())
+    fastest = min(results.values())
+    assert results["lowest_rtt"] <= 1.5 * fastest

@@ -1,0 +1,19 @@
+"""Analysis utilities: CDFs, summary statistics, traces and reports."""
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.stats import SummaryStats, summarize
+from repro.analysis.trace import SequencePoint, SubflowSequenceTrace, extract_sequence_trace, syn_join_delays
+from repro.analysis.report import format_cdf_table, format_comparison_table, format_table
+
+__all__ = [
+    "Cdf",
+    "SummaryStats",
+    "summarize",
+    "SubflowSequenceTrace",
+    "SequencePoint",
+    "extract_sequence_trace",
+    "syn_join_delays",
+    "format_table",
+    "format_cdf_table",
+    "format_comparison_table",
+]

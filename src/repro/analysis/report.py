@@ -1,0 +1,65 @@
+"""Plain-text report formatting.
+
+The benchmark harness prints the same rows/series the paper's figures show;
+these helpers keep that output consistent and readable in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.analysis.cdf import Cdf
+
+DEFAULT_FRACTIONS = (0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Format a simple left-aligned text table."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells)).rstrip()
+    output = [line(list(headers)), line(["-" * width for width in widths])]
+    output.extend(line(row) for row in materialised)
+    return "\n".join(output)
+
+
+def format_cdf_table(
+    cdfs: Mapping[str, Cdf],
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    unit: str = "s",
+    scale: float = 1.0,
+) -> str:
+    """Tabulate several CDFs at common cumulative fractions.
+
+    ``scale`` multiplies the sample values before printing (e.g. 1000 to
+    print milliseconds for samples stored in seconds).
+    """
+    headers = ["percentile"] + [label for label in cdfs]
+    rows = []
+    for fraction in fractions:
+        row = [f"p{int(fraction * 100):02d}"]
+        for label, cdf in cdfs.items():
+            row.append(f"{cdf.percentile(fraction) * scale:.3f}{unit}" if len(cdf) else "-")
+        rows.append(row)
+    mean_row = ["mean"]
+    for label, cdf in cdfs.items():
+        mean_row.append(f"{cdf.mean * scale:.3f}{unit}" if len(cdf) else "-")
+    rows.append(mean_row)
+    return format_table(headers, rows)
+
+
+def format_comparison_table(
+    title: str,
+    rows: Iterable[Sequence[object]],
+    headers: Sequence[str],
+    note: Optional[str] = None,
+) -> str:
+    """A titled table with an optional trailing note."""
+    parts = [title, format_table(headers, rows)]
+    if note:
+        parts.append(note)
+    return "\n".join(parts)

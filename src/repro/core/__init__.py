@@ -1,0 +1,85 @@
+"""SMAPP: the userspace subflow-controller framework (the paper's contribution).
+
+This package reproduces Section 3 of the paper:
+
+* :mod:`repro.core.events` / :mod:`repro.core.commands` — the event and
+  command vocabulary the Netlink path manager exposes (``created``,
+  ``estab``, ``closed``, ``add_addr``, ``rem_addr``, ``sub_estab``,
+  ``sub_closed``, ``timeout``, ``new_local_addr``, ``del_local_addr``;
+  create/remove subflow, state queries, backup priority changes);
+* :mod:`repro.core.codec` — binary encoding of those messages (the Netlink
+  wire format equivalent);
+* :mod:`repro.core.netlink` — the kernel/userspace message channel with its
+  crossing-latency model (what Figure 3 measures);
+* :mod:`repro.core.netlink_pm` — the kernel-side path manager that forwards
+  the in-kernel path-manager interface over the channel and executes
+  commands received from userspace;
+* :mod:`repro.core.library` — the userspace library that hides the message
+  handling behind callback registration and command helpers;
+* :mod:`repro.core.controller` + :mod:`repro.core.controllers` — the
+  subflow-controller base class and the four smart controllers of
+  Section 4.
+"""
+
+from repro.core.commands import (
+    Command,
+    CommandReply,
+    CreateSubflowCommand,
+    GetConnInfoCommand,
+    GetSubflowInfoCommand,
+    ListSubflowsCommand,
+    RemoveSubflowCommand,
+    ReplyStatus,
+    SetBackupCommand,
+)
+from repro.core.controller import ConnectionView, ControllerState, SubflowController, SubflowView
+from repro.core.events import (
+    AddAddrEvent,
+    ConnClosedEvent,
+    ConnCreatedEvent,
+    ConnEstablishedEvent,
+    DelLocalAddrEvent,
+    Event,
+    EventType,
+    NewLocalAddrEvent,
+    RemAddrEvent,
+    SubflowClosedEvent,
+    SubflowEstablishedEvent,
+    TimeoutEvent,
+)
+from repro.core.library import PathManagerLibrary
+from repro.core.netlink import NetlinkChannel
+from repro.core.netlink_pm import NetlinkPathManager
+from repro.core.manager import SmappManager
+
+__all__ = [
+    "Event",
+    "EventType",
+    "ConnCreatedEvent",
+    "ConnEstablishedEvent",
+    "ConnClosedEvent",
+    "SubflowEstablishedEvent",
+    "SubflowClosedEvent",
+    "TimeoutEvent",
+    "AddAddrEvent",
+    "RemAddrEvent",
+    "NewLocalAddrEvent",
+    "DelLocalAddrEvent",
+    "Command",
+    "CommandReply",
+    "ReplyStatus",
+    "CreateSubflowCommand",
+    "RemoveSubflowCommand",
+    "GetConnInfoCommand",
+    "GetSubflowInfoCommand",
+    "ListSubflowsCommand",
+    "SetBackupCommand",
+    "NetlinkChannel",
+    "NetlinkPathManager",
+    "PathManagerLibrary",
+    "SubflowController",
+    "ControllerState",
+    "ConnectionView",
+    "SubflowView",
+    "SmappManager",
+]

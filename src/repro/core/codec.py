@@ -1,0 +1,356 @@
+"""Binary encoding of path-manager messages.
+
+The paper's path manager talks to userspace over Netlink, i.e. every event
+and command crosses the kernel boundary as a byte string.  The reproduction
+keeps that property: events, commands and replies are struct-packed to
+bytes on one side of the :class:`repro.core.netlink.NetlinkChannel` and
+parsed back on the other side.  Nothing else in the system passes Python
+objects across the boundary, so the codec is exercised by every experiment.
+
+Wire format
+-----------
+Every message starts with a fixed header::
+
+    !BHI   kind (1=event, 2=command, 3=reply), type, payload length
+
+followed by a type-specific payload.  Command replies carry a small
+self-describing key/value payload (integers, floats, strings, lists and
+nested dictionaries) because the ``TCP_INFO``-style queries return many
+fields.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Union
+
+from repro.core.commands import (
+    COMMAND_CLASSES,
+    Command,
+    CommandReply,
+    CommandType,
+    CreateSubflowCommand,
+    GetConnInfoCommand,
+    GetSubflowInfoCommand,
+    ListSubflowsCommand,
+    RemoveSubflowCommand,
+    ReplyStatus,
+    SetBackupCommand,
+)
+from repro.core.events import (
+    EVENT_CLASSES,
+    AddAddrEvent,
+    ConnClosedEvent,
+    ConnCreatedEvent,
+    ConnEstablishedEvent,
+    DelLocalAddrEvent,
+    Event,
+    EventType,
+    NewLocalAddrEvent,
+    RemAddrEvent,
+    SubflowClosedEvent,
+    SubflowEstablishedEvent,
+    TimeoutEvent,
+)
+from repro.net.addressing import FourTuple, IPAddress
+
+HEADER = struct.Struct("!BHI")
+
+KIND_EVENT = 1
+KIND_COMMAND = 2
+KIND_REPLY = 3
+
+
+class CodecError(ValueError):
+    """Raised when a message cannot be encoded or decoded."""
+
+
+# ----------------------------------------------------------------------
+# small value (TLV) encoding used by reply payloads
+# ----------------------------------------------------------------------
+_VAL_INT = 0
+_VAL_FLOAT = 1
+_VAL_STR = 2
+_VAL_BOOL = 3
+_VAL_LIST = 4
+_VAL_DICT = 5
+_VAL_NONE = 6
+
+Value = Union[int, float, str, bool, None, list, dict]
+
+
+def _encode_value(value: Value) -> bytes:
+    if value is None:
+        return struct.pack("!B", _VAL_NONE)
+    if isinstance(value, bool):
+        return struct.pack("!BB", _VAL_BOOL, 1 if value else 0)
+    if isinstance(value, int):
+        return struct.pack("!Bq", _VAL_INT, value)
+    if isinstance(value, float):
+        return struct.pack("!Bd", _VAL_FLOAT, value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return struct.pack("!BH", _VAL_STR, len(raw)) + raw
+    if isinstance(value, list):
+        parts = [struct.pack("!BH", _VAL_LIST, len(value))]
+        parts.extend(_encode_value(item) for item in value)
+        return b"".join(parts)
+    if isinstance(value, dict):
+        parts = [struct.pack("!BH", _VAL_DICT, len(value))]
+        for key, item in value.items():
+            raw_key = str(key).encode("utf-8")
+            parts.append(struct.pack("!H", len(raw_key)) + raw_key)
+            parts.append(_encode_value(item))
+        return b"".join(parts)
+    raise CodecError(f"cannot encode value of type {type(value).__name__}")
+
+
+def _decode_value(data: bytes, offset: int) -> tuple[Value, int]:
+    (tag,) = struct.unpack_from("!B", data, offset)
+    offset += 1
+    if tag == _VAL_NONE:
+        return None, offset
+    if tag == _VAL_BOOL:
+        (raw,) = struct.unpack_from("!B", data, offset)
+        return bool(raw), offset + 1
+    if tag == _VAL_INT:
+        (value,) = struct.unpack_from("!q", data, offset)
+        return value, offset + 8
+    if tag == _VAL_FLOAT:
+        (value,) = struct.unpack_from("!d", data, offset)
+        return value, offset + 8
+    if tag == _VAL_STR:
+        (length,) = struct.unpack_from("!H", data, offset)
+        offset += 2
+        return data[offset : offset + length].decode("utf-8"), offset + length
+    if tag == _VAL_LIST:
+        (count,) = struct.unpack_from("!H", data, offset)
+        offset += 2
+        items = []
+        for _ in range(count):
+            item, offset = _decode_value(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == _VAL_DICT:
+        (count,) = struct.unpack_from("!H", data, offset)
+        offset += 2
+        result: dict = {}
+        for _ in range(count):
+            (key_len,) = struct.unpack_from("!H", data, offset)
+            offset += 2
+            key = data[offset : offset + key_len].decode("utf-8")
+            offset += key_len
+            value, offset = _decode_value(data, offset)
+            result[key] = value
+        return result, offset
+    raise CodecError(f"unknown value tag {tag}")
+
+
+def _pack_string(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return struct.pack("!H", len(raw)) + raw
+
+
+def _unpack_string(data: bytes, offset: int) -> tuple[str, int]:
+    (length,) = struct.unpack_from("!H", data, offset)
+    offset += 2
+    return data[offset : offset + length].decode("utf-8"), offset + length
+
+
+# ----------------------------------------------------------------------
+# events
+# ----------------------------------------------------------------------
+def encode_event(event: Event) -> bytes:
+    """Serialise an event into its wire form."""
+    event_type = event.event_type
+    if event_type == EventType.CONN_CREATED:
+        assert isinstance(event, ConnCreatedEvent)
+        payload = (
+            struct.pack("!Id", event.token, event.time)
+            + event.four_tuple.packed()
+            + struct.pack("!HB", event.initial_subflow_id, 1 if event.is_client else 0)
+        )
+    elif event_type == EventType.CONN_ESTABLISHED:
+        assert isinstance(event, ConnEstablishedEvent)
+        payload = struct.pack("!Id", event.token, event.time) + event.four_tuple.packed()
+    elif event_type == EventType.CONN_CLOSED:
+        assert isinstance(event, ConnClosedEvent)
+        payload = struct.pack("!Id", event.token, event.time)
+    elif event_type == EventType.SUB_ESTABLISHED:
+        assert isinstance(event, SubflowEstablishedEvent)
+        payload = (
+            struct.pack("!IdH", event.token, event.time, event.subflow_id)
+            + event.four_tuple.packed()
+            + struct.pack("!B", 1 if event.backup else 0)
+        )
+    elif event_type == EventType.SUB_CLOSED:
+        assert isinstance(event, SubflowClosedEvent)
+        payload = (
+            struct.pack("!IdH", event.token, event.time, event.subflow_id)
+            + event.four_tuple.packed()
+            + struct.pack("!i", event.reason)
+        )
+    elif event_type == EventType.TIMEOUT:
+        assert isinstance(event, TimeoutEvent)
+        payload = struct.pack("!IdHdH", event.token, event.time, event.subflow_id, event.rto, event.consecutive)
+    elif event_type == EventType.ADD_ADDR:
+        assert isinstance(event, AddAddrEvent)
+        payload = (
+            struct.pack("!IdB", event.token, event.time, event.address_id)
+            + event.address.packed()
+            + struct.pack("!H", event.port)
+        )
+    elif event_type == EventType.REM_ADDR:
+        assert isinstance(event, RemAddrEvent)
+        payload = struct.pack("!IdB", event.token, event.time, event.address_id)
+    elif event_type in (EventType.NEW_LOCAL_ADDR, EventType.DEL_LOCAL_ADDR):
+        assert isinstance(event, (NewLocalAddrEvent, DelLocalAddrEvent))
+        payload = struct.pack("!d", event.time) + event.address.packed() + _pack_string(event.iface_name)
+    else:  # pragma: no cover - enum is exhaustive
+        raise CodecError(f"cannot encode event {event!r}")
+    return HEADER.pack(KIND_EVENT, int(event_type), len(payload)) + payload
+
+
+def decode_event(data: bytes) -> Event:
+    """Parse an event from its wire form."""
+    kind, raw_type, length = HEADER.unpack_from(data, 0)
+    if kind != KIND_EVENT:
+        raise CodecError(f"expected an event message, got kind {kind}")
+    payload = data[HEADER.size : HEADER.size + length]
+    event_type = EventType(raw_type)
+    if event_type == EventType.CONN_CREATED:
+        token, time = struct.unpack_from("!Id", payload, 0)
+        four_tuple = FourTuple.from_packed(payload[12:24])
+        subflow_id, is_client = struct.unpack_from("!HB", payload, 24)
+        return ConnCreatedEvent(time, token, four_tuple, subflow_id, bool(is_client))
+    if event_type == EventType.CONN_ESTABLISHED:
+        token, time = struct.unpack_from("!Id", payload, 0)
+        four_tuple = FourTuple.from_packed(payload[12:24])
+        return ConnEstablishedEvent(time, token, four_tuple)
+    if event_type == EventType.CONN_CLOSED:
+        token, time = struct.unpack_from("!Id", payload, 0)
+        return ConnClosedEvent(time, token)
+    if event_type == EventType.SUB_ESTABLISHED:
+        token, time, subflow_id = struct.unpack_from("!IdH", payload, 0)
+        four_tuple = FourTuple.from_packed(payload[14:26])
+        (backup,) = struct.unpack_from("!B", payload, 26)
+        return SubflowEstablishedEvent(time, token, subflow_id, four_tuple, bool(backup))
+    if event_type == EventType.SUB_CLOSED:
+        token, time, subflow_id = struct.unpack_from("!IdH", payload, 0)
+        four_tuple = FourTuple.from_packed(payload[14:26])
+        (reason,) = struct.unpack_from("!i", payload, 26)
+        return SubflowClosedEvent(time, token, subflow_id, four_tuple, reason)
+    if event_type == EventType.TIMEOUT:
+        token, time, subflow_id, rto, consecutive = struct.unpack_from("!IdHdH", payload, 0)
+        return TimeoutEvent(time, token, subflow_id, rto, consecutive)
+    if event_type == EventType.ADD_ADDR:
+        token, time, address_id = struct.unpack_from("!IdB", payload, 0)
+        address = IPAddress.from_packed(payload[13:17])
+        (port,) = struct.unpack_from("!H", payload, 17)
+        return AddAddrEvent(time, token, address_id, address, port)
+    if event_type == EventType.REM_ADDR:
+        token, time, address_id = struct.unpack_from("!IdB", payload, 0)
+        return RemAddrEvent(time, token, address_id)
+    if event_type in (EventType.NEW_LOCAL_ADDR, EventType.DEL_LOCAL_ADDR):
+        (time,) = struct.unpack_from("!d", payload, 0)
+        address = IPAddress.from_packed(payload[8:12])
+        iface_name, _ = _unpack_string(payload, 12)
+        cls = NewLocalAddrEvent if event_type == EventType.NEW_LOCAL_ADDR else DelLocalAddrEvent
+        return cls(time, address, iface_name)
+    raise CodecError(f"unknown event type {raw_type}")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def encode_command(command: Command) -> bytes:
+    """Serialise a command into its wire form."""
+    command_type = command.command_type
+    head = struct.pack("!II", command.request_id, command.token)
+    if command_type == CommandType.CREATE_SUBFLOW:
+        assert isinstance(command, CreateSubflowCommand)
+        remote = command.remote_address
+        payload = head + command.local_address.packed() + struct.pack(
+            "!HB", command.local_port, 1 if remote is not None else 0
+        )
+        payload += (remote.packed() if remote is not None else b"\x00\x00\x00\x00")
+        payload += struct.pack("!HB", command.remote_port, 1 if command.backup else 0)
+    elif command_type == CommandType.REMOVE_SUBFLOW:
+        assert isinstance(command, RemoveSubflowCommand)
+        payload = head + struct.pack("!HB", command.subflow_id, 1 if command.reset else 0)
+    elif command_type == CommandType.GET_CONN_INFO:
+        payload = head
+    elif command_type == CommandType.GET_SUBFLOW_INFO:
+        assert isinstance(command, GetSubflowInfoCommand)
+        payload = head + struct.pack("!H", command.subflow_id)
+    elif command_type == CommandType.LIST_SUBFLOWS:
+        payload = head
+    elif command_type == CommandType.SET_BACKUP:
+        assert isinstance(command, SetBackupCommand)
+        payload = head + struct.pack("!HB", command.subflow_id, 1 if command.backup else 0)
+    else:  # pragma: no cover - enum is exhaustive
+        raise CodecError(f"cannot encode command {command!r}")
+    return HEADER.pack(KIND_COMMAND, int(command_type), len(payload)) + payload
+
+
+def decode_command(data: bytes) -> Command:
+    """Parse a command from its wire form."""
+    kind, raw_type, length = HEADER.unpack_from(data, 0)
+    if kind != KIND_COMMAND:
+        raise CodecError(f"expected a command message, got kind {kind}")
+    payload = data[HEADER.size : HEADER.size + length]
+    command_type = CommandType(raw_type)
+    request_id, token = struct.unpack_from("!II", payload, 0)
+    body = payload[8:]
+    if command_type == CommandType.CREATE_SUBFLOW:
+        local_address = IPAddress.from_packed(body[0:4])
+        local_port, has_remote = struct.unpack_from("!HB", body, 4)
+        remote_address = IPAddress.from_packed(body[7:11]) if has_remote else None
+        remote_port, backup = struct.unpack_from("!HB", body, 11)
+        return CreateSubflowCommand(
+            request_id, token, local_address, local_port, remote_address, remote_port, bool(backup)
+        )
+    if command_type == CommandType.REMOVE_SUBFLOW:
+        subflow_id, reset = struct.unpack_from("!HB", body, 0)
+        return RemoveSubflowCommand(request_id, token, subflow_id, bool(reset))
+    if command_type == CommandType.GET_CONN_INFO:
+        return GetConnInfoCommand(request_id, token)
+    if command_type == CommandType.GET_SUBFLOW_INFO:
+        (subflow_id,) = struct.unpack_from("!H", body, 0)
+        return GetSubflowInfoCommand(request_id, token, subflow_id)
+    if command_type == CommandType.LIST_SUBFLOWS:
+        return ListSubflowsCommand(request_id, token)
+    if command_type == CommandType.SET_BACKUP:
+        subflow_id, backup = struct.unpack_from("!HB", body, 0)
+        return SetBackupCommand(request_id, token, subflow_id, bool(backup))
+    raise CodecError(f"unknown command type {raw_type}")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# replies
+# ----------------------------------------------------------------------
+def encode_reply(reply: CommandReply) -> bytes:
+    """Serialise a command reply into its wire form."""
+    payload = struct.pack("!IH", reply.request_id, int(reply.status)) + _encode_value(reply.payload)
+    return HEADER.pack(KIND_REPLY, 0, len(payload)) + payload
+
+
+def decode_reply(data: bytes) -> CommandReply:
+    """Parse a command reply from its wire form."""
+    kind, _, length = HEADER.unpack_from(data, 0)
+    if kind != KIND_REPLY:
+        raise CodecError(f"expected a reply message, got kind {kind}")
+    payload = data[HEADER.size : HEADER.size + length]
+    request_id, status = struct.unpack_from("!IH", payload, 0)
+    value, _ = _decode_value(payload, 6)
+    if not isinstance(value, dict):
+        raise CodecError("reply payload must decode to a dictionary")
+    return CommandReply(request_id, ReplyStatus(status), value)
+
+
+def message_kind(data: bytes) -> int:
+    """Peek at the kind byte of a wire message (event/command/reply)."""
+    if len(data) < HEADER.size:
+        raise CodecError("message too short")
+    kind, _, _ = HEADER.unpack_from(data, 0)
+    return kind

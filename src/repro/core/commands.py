@@ -1,0 +1,149 @@
+"""Commands a subflow controller can send to the Netlink path manager.
+
+Section 3 of the paper: "it is possible to request the creation of a
+subflow [...] based on an arbitrary 4-tuple", "a similar command allows to
+remove any established subflow", and "the controller can also retrieve
+information from the control block of the Multipath TCP connection or one
+of the subflows" (the ``TCP_INFO`` equivalent, including ``snd_una``,
+``rto`` and ``pacing_rate``).  A backup-priority command (MP_PRIO) is
+provided as a natural extension used by some controllers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.addressing import IPAddress
+
+
+class CommandType(enum.IntEnum):
+    """Numeric identifiers used on the wire."""
+
+    CREATE_SUBFLOW = 101
+    REMOVE_SUBFLOW = 102
+    GET_CONN_INFO = 103
+    GET_SUBFLOW_INFO = 104
+    LIST_SUBFLOWS = 105
+    SET_BACKUP = 106
+
+
+class ReplyStatus(enum.IntEnum):
+    """Outcome of a command."""
+
+    OK = 0
+    UNKNOWN_CONNECTION = 1
+    UNKNOWN_SUBFLOW = 2
+    REJECTED = 3
+    INVALID = 4
+
+
+@dataclass(frozen=True)
+class Command:
+    """Base class for all commands (``request_id`` correlates the reply)."""
+
+    request_id: int
+    token: int
+
+    @property
+    def command_type(self) -> CommandType:
+        """The numeric type of this command."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CreateSubflowCommand(Command):
+    """Create a subflow from an arbitrary four-tuple.
+
+    ``local_port`` 0 lets the kernel pick an ephemeral port; ``remote_*``
+    default to the connection's primary destination when zero/empty.
+    """
+
+    local_address: IPAddress = IPAddress("0.0.0.0")
+    local_port: int = 0
+    remote_address: Optional[IPAddress] = None
+    remote_port: int = 0
+    backup: bool = False
+
+    @property
+    def command_type(self) -> CommandType:
+        return CommandType.CREATE_SUBFLOW
+
+
+@dataclass(frozen=True)
+class RemoveSubflowCommand(Command):
+    """Remove an established subflow (by connection-local identifier)."""
+
+    subflow_id: int = 0
+    reset: bool = True
+
+    @property
+    def command_type(self) -> CommandType:
+        return CommandType.REMOVE_SUBFLOW
+
+
+@dataclass(frozen=True)
+class GetConnInfoCommand(Command):
+    """Retrieve connection-level state (data-level ``snd_una`` and friends)."""
+
+    @property
+    def command_type(self) -> CommandType:
+        return CommandType.GET_CONN_INFO
+
+
+@dataclass(frozen=True)
+class GetSubflowInfoCommand(Command):
+    """Retrieve one subflow's ``TCP_INFO`` (rto, pacing_rate, cwnd, ...)."""
+
+    subflow_id: int = 0
+
+    @property
+    def command_type(self) -> CommandType:
+        return CommandType.GET_SUBFLOW_INFO
+
+
+@dataclass(frozen=True)
+class ListSubflowsCommand(Command):
+    """List the identifiers and four-tuples of a connection's subflows."""
+
+    @property
+    def command_type(self) -> CommandType:
+        return CommandType.LIST_SUBFLOWS
+
+
+@dataclass(frozen=True)
+class SetBackupCommand(Command):
+    """Change a subflow's backup priority (sends MP_PRIO to the peer)."""
+
+    subflow_id: int = 0
+    backup: bool = True
+
+    @property
+    def command_type(self) -> CommandType:
+        return CommandType.SET_BACKUP
+
+
+@dataclass(frozen=True)
+class CommandReply:
+    """The kernel's answer to a command."""
+
+    request_id: int
+    status: ReplyStatus
+    payload: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when the command succeeded."""
+        return self.status == ReplyStatus.OK
+
+
+#: All concrete command classes, keyed by their numeric type (used by the codec).
+COMMAND_CLASSES: dict[CommandType, type] = {
+    CommandType.CREATE_SUBFLOW: CreateSubflowCommand,
+    CommandType.REMOVE_SUBFLOW: RemoveSubflowCommand,
+    CommandType.GET_CONN_INFO: GetConnInfoCommand,
+    CommandType.GET_SUBFLOW_INFO: GetSubflowInfoCommand,
+    CommandType.LIST_SUBFLOWS: ListSubflowsCommand,
+    CommandType.SET_BACKUP: SetBackupCommand,
+}

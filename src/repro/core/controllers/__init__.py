@@ -1,0 +1,30 @@
+"""The smart subflow controllers of Section 4 of the paper.
+
+* :class:`~repro.core.controllers.fullmesh.UserspaceFullMeshController` —
+  §4.1, a userspace re-implementation of the full-mesh strategy that also
+  repairs failed subflows with failure-specific back-off timers;
+* :class:`~repro.core.controllers.backup.SmartBackupController` — §4.2,
+  break-before-make backup handover triggered by the RTO threshold;
+* :class:`~repro.core.controllers.streaming.SmartStreamingController` —
+  §4.3, per-block progress monitoring for fixed-rate streams;
+* :class:`~repro.core.controllers.refresh.RefreshController` — §4.4,
+  periodic replacement of the slowest subflow to exploit flow-based load
+  balancing;
+* :class:`~repro.core.controllers.ndiffports.UserspaceNdiffportsController`
+  — §4.5, the userspace twin of the in-kernel ndiffports strategy used for
+  the overhead measurement.
+"""
+
+from repro.core.controllers.backup import SmartBackupController
+from repro.core.controllers.fullmesh import UserspaceFullMeshController
+from repro.core.controllers.ndiffports import UserspaceNdiffportsController
+from repro.core.controllers.refresh import RefreshController
+from repro.core.controllers.streaming import SmartStreamingController
+
+__all__ = [
+    "UserspaceFullMeshController",
+    "SmartBackupController",
+    "SmartStreamingController",
+    "RefreshController",
+    "UserspaceNdiffportsController",
+]

@@ -1,0 +1,202 @@
+"""Events exposed by the Netlink path manager.
+
+The event vocabulary is exactly the one Section 3 of the paper lists.  Each
+event is a frozen dataclass carrying the information a subflow controller
+needs to take decisions without ever touching kernel state directly:
+connections are identified by their MPTCP token, subflows by a
+connection-local identifier plus their four-tuple, failures by an ``errno``
+value.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.addressing import FourTuple, IPAddress
+
+
+class EventType(enum.IntEnum):
+    """Numeric identifiers used on the wire (and for subscriptions)."""
+
+    CONN_CREATED = 1
+    CONN_ESTABLISHED = 2
+    CONN_CLOSED = 3
+    SUB_ESTABLISHED = 4
+    SUB_CLOSED = 5
+    TIMEOUT = 6
+    ADD_ADDR = 7
+    REM_ADDR = 8
+    NEW_LOCAL_ADDR = 9
+    DEL_LOCAL_ADDR = 10
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for all path-manager events."""
+
+    time: float
+    """Simulated time at which the kernel emitted the event."""
+
+    @property
+    def event_type(self) -> EventType:
+        """The numeric type of this event."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConnCreatedEvent(Event):
+    """``created``: a new MPTCP connection exists (SYN sent or received)."""
+
+    token: int
+    four_tuple: FourTuple
+    initial_subflow_id: int
+    is_client: bool
+
+    @property
+    def event_type(self) -> EventType:
+        return EventType.CONN_CREATED
+
+
+@dataclass(frozen=True)
+class ConnEstablishedEvent(Event):
+    """``estab``: the initial subflow's three-way handshake succeeded."""
+
+    token: int
+    four_tuple: FourTuple
+
+    @property
+    def event_type(self) -> EventType:
+        return EventType.CONN_ESTABLISHED
+
+
+@dataclass(frozen=True)
+class ConnClosedEvent(Event):
+    """``closed``: the MPTCP connection terminated."""
+
+    token: int
+
+    @property
+    def event_type(self) -> EventType:
+        return EventType.CONN_CLOSED
+
+
+@dataclass(frozen=True)
+class SubflowEstablishedEvent(Event):
+    """``sub_estab``: a subflow finished its handshake."""
+
+    token: int
+    subflow_id: int
+    four_tuple: FourTuple
+    backup: bool
+
+    @property
+    def event_type(self) -> EventType:
+        return EventType.SUB_ESTABLISHED
+
+
+@dataclass(frozen=True)
+class SubflowClosedEvent(Event):
+    """``sub_closed``: a subflow terminated.
+
+    ``reason`` is an ``errno`` value: 0 for a clean close, ``ECONNRESET``
+    when a RST was received, ``ETIMEDOUT`` after excessive retransmission
+    timer expirations, ``ENETUNREACH``/``EHOSTUNREACH`` for ICMP-style
+    failures.  The §4.1 controller keys its re-establishment timers on it.
+    """
+
+    token: int
+    subflow_id: int
+    four_tuple: FourTuple
+    reason: int
+
+    @property
+    def event_type(self) -> EventType:
+        return EventType.SUB_CLOSED
+
+
+@dataclass(frozen=True)
+class TimeoutEvent(Event):
+    """``timeout``: a subflow's retransmission timer expired.
+
+    Reports the current (already backed-off) RTO value and how many
+    consecutive expirations occurred, so controllers can detect
+    underperforming subflows (§4.2, §4.3).
+    """
+
+    token: int
+    subflow_id: int
+    rto: float
+    consecutive: int
+
+    @property
+    def event_type(self) -> EventType:
+        return EventType.TIMEOUT
+
+
+@dataclass(frozen=True)
+class AddAddrEvent(Event):
+    """``add_addr``: the peer advertised an additional address."""
+
+    token: int
+    address_id: int
+    address: IPAddress
+    port: int
+
+    @property
+    def event_type(self) -> EventType:
+        return EventType.ADD_ADDR
+
+
+@dataclass(frozen=True)
+class RemAddrEvent(Event):
+    """``rem_addr``: the peer withdrew an address."""
+
+    token: int
+    address_id: int
+
+    @property
+    def event_type(self) -> EventType:
+        return EventType.REM_ADDR
+
+
+@dataclass(frozen=True)
+class NewLocalAddrEvent(Event):
+    """``new_local_addr``: a local interface/address came up."""
+
+    address: IPAddress
+    iface_name: str
+    token: int = 0
+
+    @property
+    def event_type(self) -> EventType:
+        return EventType.NEW_LOCAL_ADDR
+
+
+@dataclass(frozen=True)
+class DelLocalAddrEvent(Event):
+    """``del_local_addr``: a local interface/address went down."""
+
+    address: IPAddress
+    iface_name: str
+    token: int = 0
+
+    @property
+    def event_type(self) -> EventType:
+        return EventType.DEL_LOCAL_ADDR
+
+
+#: All concrete event classes, keyed by their numeric type (used by the codec).
+EVENT_CLASSES: dict[EventType, type] = {
+    EventType.CONN_CREATED: ConnCreatedEvent,
+    EventType.CONN_ESTABLISHED: ConnEstablishedEvent,
+    EventType.CONN_CLOSED: ConnClosedEvent,
+    EventType.SUB_ESTABLISHED: SubflowEstablishedEvent,
+    EventType.SUB_CLOSED: SubflowClosedEvent,
+    EventType.TIMEOUT: TimeoutEvent,
+    EventType.ADD_ADDR: AddAddrEvent,
+    EventType.REM_ADDR: RemAddrEvent,
+    EventType.NEW_LOCAL_ADDR: NewLocalAddrEvent,
+    EventType.DEL_LOCAL_ADDR: DelLocalAddrEvent,
+}

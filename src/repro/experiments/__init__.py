@@ -1,0 +1,27 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+Each module exposes a ``run_*`` function that builds the emulated topology,
+runs the workload under the relevant controllers/path managers and returns
+a result object with a ``format_report()`` method printing the same series
+the paper's figure shows.  The :mod:`repro.experiments.runner` module wraps
+them in a command-line interface (``smapp-experiments``).
+"""
+
+from repro.experiments.fig2a_backup import Fig2aResult, run_fig2a
+from repro.experiments.fig2b_streaming import Fig2bResult, run_fig2b
+from repro.experiments.fig2c_loadbalance import Fig2cResult, run_fig2c
+from repro.experiments.fig3_pm_delay import Fig3Result, run_fig3
+from repro.experiments.longlived import LongLivedResult, run_longlived
+
+__all__ = [
+    "run_fig2a",
+    "Fig2aResult",
+    "run_fig2b",
+    "Fig2bResult",
+    "run_fig2c",
+    "Fig2cResult",
+    "run_fig3",
+    "Fig3Result",
+    "run_longlived",
+    "LongLivedResult",
+]

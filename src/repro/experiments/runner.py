@@ -1,0 +1,96 @@
+"""Command-line entry point: ``smapp-experiments``.
+
+Runs one (or all) of the paper-reproduction experiments and prints the
+text rendering of the corresponding figure.  Scaling options keep the run
+times reasonable on a laptop; EXPERIMENTS.md records both the scaled
+defaults and full-size reference runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Optional, Sequence
+
+from repro.experiments.fig2a_backup import run_fig2a
+from repro.experiments.fig2b_streaming import run_fig2b
+from repro.experiments.fig2c_loadbalance import run_fig2c
+from repro.experiments.fig3_pm_delay import run_fig3
+from repro.experiments.longlived import run_longlived
+
+
+def _run_fig2a(args: argparse.Namespace) -> str:
+    result = run_fig2a(seed=args.seed, include_baseline=args.baseline)
+    return result.format_report()
+
+
+def _run_fig2b(args: argparse.Namespace) -> str:
+    result = run_fig2b(seed=args.seed, block_count=args.blocks, include_smart_sweep=args.sweep)
+    return result.format_report()
+
+
+def _run_fig2c(args: argparse.Namespace) -> str:
+    result = run_fig2c(seeds=args.runs, scale=args.scale)
+    return result.format_report()
+
+
+def _run_fig3(args: argparse.Namespace) -> str:
+    result = run_fig3(seed=args.seed, request_count=args.requests, stressed=args.stressed)
+    return result.format_report()
+
+
+def _run_longlived(args: argparse.Namespace) -> str:
+    result = run_longlived(seed=args.seed, duration=args.duration)
+    return result.format_report()
+
+
+EXPERIMENTS: dict[str, Callable[[argparse.Namespace], str]] = {
+    "fig2a": _run_fig2a,
+    "fig2b": _run_fig2b,
+    "fig2c": _run_fig2c,
+    "fig3": _run_fig3,
+    "longlived": _run_longlived,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="smapp-experiments",
+        description="Reproduce the evaluation of 'SMAPP: Towards Smart Multipath TCP-enabled APPlications'",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figure/section to reproduce",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="base random seed")
+    parser.add_argument("--baseline", action="store_true", help="fig2a: also simulate the kernel-only backup baseline")
+    parser.add_argument("--blocks", type=int, default=60, help="fig2b: number of 64 KB blocks per run")
+    parser.add_argument("--sweep", action="store_true", help="fig2b: run the smart controller at every loss rate")
+    parser.add_argument("--runs", type=int, default=10, help="fig2c: number of seeds per variant")
+    parser.add_argument("--scale", type=float, default=0.1, help="fig2c: fraction of the 100 MB transfer")
+    parser.add_argument("--requests", type=int, default=200, help="fig3: number of HTTP requests")
+    parser.add_argument("--stressed", action="store_true", help="fig3: add CPU-stress scheduling jitter")
+    parser.add_argument("--duration", type=float, default=900.0, help="longlived: experiment duration in seconds")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        report = EXPERIMENTS[name](args)
+        elapsed = time.time() - started
+        print(report)
+        print(f"[{name} completed in {elapsed:.1f}s wall clock]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

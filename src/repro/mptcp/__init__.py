@@ -1,0 +1,66 @@
+"""Multipath TCP.
+
+This package reproduces the data plane of the Linux MPTCP kernel the paper
+builds on: connections made of TCP subflows, the MP_CAPABLE / MP_JOIN
+handshakes with token-based demultiplexing, DSS data-sequence mappings and
+data acknowledgements, packet scheduling across subflows (lowest-RTT by
+default), reinjection of data stranded on failing subflows, backup-flag
+semantics, ADD_ADDR/REMOVE_ADDR advertisement, and the *in-kernel* path
+managers (``full-mesh`` and ``ndiffports``) the paper compares against.
+
+The control-plane delegation that is the paper's contribution lives in
+:mod:`repro.core`.
+"""
+
+from repro.mptcp.config import MptcpConfig
+from repro.mptcp.connection import DssMapping, MptcpConnection
+from repro.mptcp.options import (
+    AddAddrOption,
+    DssOption,
+    MpCapableOption,
+    MpJoinOption,
+    MpPrioOption,
+    RemoveAddrOption,
+)
+from repro.mptcp.path_manager import (
+    FullMeshPathManager,
+    NdiffportsPathManager,
+    PassivePathManager,
+    PathManager,
+)
+from repro.mptcp.scheduler import (
+    LowestRttScheduler,
+    RoundRobinScheduler,
+    RedundantScheduler,
+    Scheduler,
+    make_scheduler,
+)
+from repro.mptcp.stack import MptcpStack
+from repro.mptcp.subflow import Subflow, SubflowOrigin
+from repro.mptcp.token import derive_token, generate_key
+
+__all__ = [
+    "MptcpConfig",
+    "MptcpConnection",
+    "DssMapping",
+    "MptcpStack",
+    "Subflow",
+    "SubflowOrigin",
+    "PathManager",
+    "PassivePathManager",
+    "FullMeshPathManager",
+    "NdiffportsPathManager",
+    "Scheduler",
+    "LowestRttScheduler",
+    "RoundRobinScheduler",
+    "RedundantScheduler",
+    "make_scheduler",
+    "MpCapableOption",
+    "MpJoinOption",
+    "DssOption",
+    "AddAddrOption",
+    "RemoveAddrOption",
+    "MpPrioOption",
+    "derive_token",
+    "generate_key",
+]

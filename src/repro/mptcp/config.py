@@ -1,0 +1,48 @@
+"""MPTCP stack configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.tcp.config import TcpConfig
+
+
+@dataclass(frozen=True)
+class MptcpConfig:
+    """Per-stack MPTCP configuration.
+
+    The defaults mirror the Linux MPTCP kernel used in the paper: the
+    lowest-RTT scheduler, coupled (LIA) congestion control, announcement of
+    additional local addresses with ADD_ADDR, and opportunistic reinjection
+    of data stranded on a subflow whose retransmission timer expired.
+    """
+
+    tcp: TcpConfig = field(default_factory=TcpConfig)
+    """TCP settings shared by all subflows."""
+
+    scheduler: str = "lowest_rtt"
+    """Packet scheduler: ``"lowest_rtt"``, ``"round_robin"`` or ``"redundant"``."""
+
+    announce_addresses: bool = True
+    """Advertise additional local addresses with ADD_ADDR after establishment."""
+
+    reinject_on_timeout: bool = True
+    """Reschedule a timed-out subflow's outstanding data on other subflows."""
+
+    reinject_on_close: bool = True
+    """Reschedule a closed subflow's outstanding data on other subflows."""
+
+    max_subflows: int = 32
+    """Safety cap on concurrent subflows per connection."""
+
+    def with_overrides(self, **overrides) -> "MptcpConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for inconsistent settings."""
+        self.tcp.validate()
+        if self.max_subflows < 1:
+            raise ValueError("max_subflows must be at least 1")
+        if self.scheduler not in ("lowest_rtt", "round_robin", "redundant"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")

@@ -1,0 +1,786 @@
+"""The MPTCP connection: data-sequence space, scheduling and reinjection.
+
+An :class:`MptcpConnection` owns a set of :class:`~repro.mptcp.subflow.Subflow`
+objects and implements everything RFC 6824 layers on top of them:
+
+* a single connection-level byte stream with its own (data) sequence space,
+  carried in DSS options as mappings and cumulative data acknowledgements;
+* a packet scheduler that decides which established subflow transmits the
+  next chunk (lowest RTT by default);
+* reinjection: data stranded on a subflow that timed out or died is
+  rescheduled on the remaining subflows (the behaviour §4.3 of the paper
+  analyses in detail);
+* backup-flag semantics, ADD_ADDR/REMOVE_ADDR bookkeeping and DATA_FIN
+  based connection teardown.
+
+The connection is also the :class:`~repro.tcp.socket.SubflowObserver` of all
+its subflows' sockets: it supplies the MPTCP options for every segment they
+emit and consumes the options of every segment they receive.
+"""
+
+from __future__ import annotations
+
+import errno
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.mptcp.options import (
+    AddAddrOption,
+    DssOption,
+    MpCapableOption,
+    MpFastcloseOption,
+    MpJoinOption,
+    MpPrioOption,
+)
+from repro.mptcp.scheduler import Scheduler
+from repro.mptcp.subflow import Subflow, SubflowOrigin
+from repro.mptcp.token import derive_token
+from repro.net.addressing import IPAddress
+from repro.net.packet import Segment
+from repro.sim.timers import Timer
+from repro.tcp.buffers import ReceiveReassembly
+from repro.tcp.socket import SubflowObserver, TcpSocket
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mptcp.stack import MptcpStack
+
+
+@dataclass(frozen=True)
+class DssMapping:
+    """A data-sequence mapping attached to one transmitted segment."""
+
+    data_seq: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        """Data-sequence number one past the mapped range."""
+        return self.data_seq + self.length
+
+
+@dataclass(frozen=True)
+class ConnectionInfo:
+    """Connection-level state exposed through the Netlink path manager."""
+
+    token: int
+    established: bool
+    closed: bool
+    data_una: int
+    data_next: int
+    data_rcv_nxt: int
+    subflow_count: int
+    bytes_sent: int
+    bytes_received: int
+
+    def as_dict(self) -> dict:
+        """Plain-dict form used by the Netlink codec."""
+        return {
+            "token": self.token,
+            "established": self.established,
+            "closed": self.closed,
+            "data_una": self.data_una,
+            "data_next": self.data_next,
+            "data_rcv_nxt": self.data_rcv_nxt,
+            "subflow_count": self.subflow_count,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+        }
+
+
+class ConnectionListener:
+    """Application-side callbacks.  Default implementations do nothing."""
+
+    def on_connection_established(self, conn: "MptcpConnection") -> None:
+        """The initial subflow completed its handshake."""
+
+    def on_data(self, conn: "MptcpConnection", new_bytes: int) -> None:
+        """``new_bytes`` of in-order connection-level data were delivered."""
+
+    def on_data_acked(self, conn: "MptcpConnection", data_una: int) -> None:
+        """The peer's cumulative data acknowledgement advanced."""
+
+    def on_connection_finished(self, conn: "MptcpConnection") -> None:
+        """The peer's DATA_FIN was received and all its data delivered."""
+
+    def on_connection_closed(self, conn: "MptcpConnection") -> None:
+        """The connection is fully closed (all subflows gone)."""
+
+
+class MptcpConnection(SubflowObserver):
+    """One Multipath TCP connection."""
+
+    def __init__(
+        self,
+        stack: "MptcpStack",
+        listener: Optional[ConnectionListener],
+        scheduler: Scheduler,
+        local_key: int,
+        is_client: bool,
+        remote_address: IPAddress,
+        remote_port: int,
+    ) -> None:
+        self._stack = stack
+        self._sim = stack.sim
+        self._listener = listener if listener is not None else ConnectionListener()
+        self._scheduler = scheduler
+        self._config = stack.mptcp_config
+        self._mss = self._config.tcp.mss
+        self.is_client = is_client
+
+        self.local_key = local_key
+        self.local_token = derive_token(local_key)
+        self.remote_key: Optional[int] = None
+        self.remote_token: Optional[int] = None
+        self.remote_address = IPAddress(remote_address)
+        self.remote_port = int(remote_port)
+
+        self._subflows: list[Subflow] = []
+        self._subflow_by_socket: dict[int, Subflow] = {}
+        self._next_subflow_id = 1
+
+        # Send side (connection-level data sequence space, starting at 0).
+        self._data_write_nxt = 0
+        self._data_una = 0
+        self._unassigned: deque[tuple[int, int]] = deque()
+        self._bytes_sent_total = 0
+
+        # Receive side.
+        self._data_reassembly = ReceiveReassembly(0)
+        self._bytes_received_total = 0
+        self._remote_fin_seq: Optional[int] = None
+        self._remote_fin_consumed = False
+
+        # Connection-level (meta) retransmission timer: repairs data-level
+        # stalls by reinjecting the oldest unacknowledged data on whatever
+        # subflow is available.  Without it, data stranded on a subflow that
+        # silently died (e.g. behind a NAT that lost its state) would never
+        # reach the peer even though other subflows work fine.
+        self._meta_rtx_timer = Timer(self._sim, self._on_meta_rto, name="meta-rtx")
+        self._meta_backoff = 0
+        self.meta_rto_expirations = 0
+
+        # Close handling.
+        self._close_requested = False
+        self._data_fin_seq: Optional[int] = None
+        self._data_fin_acked = False
+        self._data_fin_timer = Timer(self._sim, self._retransmit_data_fin, name="data-fin")
+        self._aborted = False
+        self.closed = False
+        self.established = False
+        self.established_at: Optional[float] = None
+        self.closed_at: Optional[float] = None
+
+        # Address bookkeeping (the paper's add_addr / rem_addr events).
+        self._remote_addresses: dict[int, tuple[IPAddress, int]] = {}
+        self._announced_local_ids: dict[int, IPAddress] = {}
+        self._pending_options: list = []
+
+    # ------------------------------------------------------------------
+    # identity / introspection
+    # ------------------------------------------------------------------
+    @property
+    def stack(self) -> "MptcpStack":
+        """The owning MPTCP stack."""
+        return self._stack
+
+    @property
+    def listener(self) -> ConnectionListener:
+        """The application listener attached to this connection."""
+        return self._listener
+
+    @property
+    def subflows(self) -> list[Subflow]:
+        """All subflows ever created for this connection (do not mutate)."""
+        return self._subflows
+
+    @property
+    def active_subflows(self) -> list[Subflow]:
+        """Subflows that are currently usable by the scheduler."""
+        return [flow for flow in self._subflows if flow.is_usable]
+
+    @property
+    def initial_subflow(self) -> Optional[Subflow]:
+        """The MP_CAPABLE subflow, if it still exists."""
+        for flow in self._subflows:
+            if flow.is_initial:
+                return flow
+        return None
+
+    @property
+    def data_una(self) -> int:
+        """Connection-level ``snd_una`` (cumulative data acknowledged by the peer)."""
+        return self._data_una
+
+    @property
+    def data_next(self) -> int:
+        """Next connection-level sequence number the application will write at."""
+        return self._data_write_nxt
+
+    @property
+    def data_rcv_nxt(self) -> int:
+        """Next expected connection-level receive sequence number."""
+        return self._data_reassembly.rcv_nxt
+
+    @property
+    def bytes_received(self) -> int:
+        """In-order connection-level bytes delivered to the application."""
+        return self._bytes_received_total
+
+    @property
+    def bytes_sent(self) -> int:
+        """Connection-level bytes written by the application."""
+        return self._bytes_sent_total
+
+    @property
+    def remote_addresses(self) -> dict[int, tuple[IPAddress, int]]:
+        """Addresses advertised by the peer (address id -> (address, port))."""
+        return dict(self._remote_addresses)
+
+    def subflow_by_id(self, subflow_id: int) -> Optional[Subflow]:
+        """Look up a subflow by its connection-local identifier."""
+        for flow in self._subflows:
+            if flow.id == subflow_id:
+                return flow
+        return None
+
+    def info(self) -> ConnectionInfo:
+        """Connection-level state snapshot (the Netlink ``GetConnInfo`` reply)."""
+        return ConnectionInfo(
+            token=self.local_token,
+            established=self.established,
+            closed=self.closed,
+            data_una=self._data_una,
+            data_next=self._data_write_nxt,
+            data_rcv_nxt=self.data_rcv_nxt,
+            subflow_count=len(self.active_subflows),
+            bytes_sent=self._bytes_sent_total,
+            bytes_received=self._bytes_received_total,
+        )
+
+    # ------------------------------------------------------------------
+    # application API
+    # ------------------------------------------------------------------
+    def send(self, length: int) -> tuple[int, int]:
+        """Write ``length`` bytes of application data.
+
+        Returns the data-sequence range ``(start, end)`` the bytes occupy —
+        applications use it to correlate delivery (e.g. the streaming app's
+        block boundaries).
+        """
+        if length <= 0:
+            raise ValueError(f"length must be positive, got {length!r}")
+        if self.closed or self._close_requested:
+            raise RuntimeError("cannot send on a closing MPTCP connection")
+        start = self._data_write_nxt
+        end = start + length
+        self._data_write_nxt = end
+        self._bytes_sent_total += length
+        self._unassigned.append((start, end))
+        self._push_data()
+        return start, end
+
+    def close(self) -> None:
+        """Finish sending: emit a DATA_FIN once all written data is acknowledged."""
+        if self.closed or self._close_requested:
+            return
+        self._close_requested = True
+        self._maybe_send_data_fin()
+
+    def abort(self, reason: int = errno.ECONNABORTED, notify_peer: bool = True) -> None:
+        """Tear the connection down immediately (all subflows are reset).
+
+        ``notify_peer`` sends an MP_FASTCLOSE first so the remote meta
+        socket is torn down as well instead of lingering with dead subflows.
+        """
+        if self.closed:
+            return
+        self._aborted = True
+        if notify_peer:
+            capable = self._transmission_capable_subflows()
+            if capable:
+                self._pending_options.append(MpFastcloseOption(receiver_key=self.remote_key or 0))
+                capable[0].socket.send_ack()
+        for flow in list(self._subflows):
+            if not flow.is_closed:
+                flow.socket.abort(reason)
+        self._finalise_close()
+
+    # ------------------------------------------------------------------
+    # subflow management (used by path managers and the Netlink commands)
+    # ------------------------------------------------------------------
+    def open_initial_subflow(self, local_address: IPAddress, local_port: int) -> Subflow:
+        """Create and connect the MP_CAPABLE subflow (client side)."""
+        socket = self._stack.create_subflow_socket(
+            self, local_address, local_port, self.remote_address, self.remote_port
+        )
+        flow = self._register_subflow(socket, SubflowOrigin.INITIAL, backup=False)
+        self._stack.notify_connection_created(self, flow)
+        socket.connect()
+        return flow
+
+    def accept_initial_subflow(self, segment: Segment) -> Subflow:
+        """Create the server-side MP_CAPABLE subflow from a received SYN."""
+        capable = segment.find_option(MpCapableOption)
+        if capable is None:
+            raise ValueError("initial SYN carries no MP_CAPABLE option")
+        self._learn_remote_key(capable.sender_key)
+        socket = self._stack.create_subflow_socket(
+            self, segment.dst, segment.dport, segment.src, segment.sport
+        )
+        flow = self._register_subflow(socket, SubflowOrigin.INITIAL, backup=False)
+        self._stack.notify_connection_created(self, flow)
+        socket.handle_segment(segment)
+        return flow
+
+    def create_subflow(
+        self,
+        local_address: IPAddress,
+        remote_address: Optional[IPAddress] = None,
+        remote_port: Optional[int] = None,
+        local_port: Optional[int] = None,
+        backup: bool = False,
+        origin: SubflowOrigin = SubflowOrigin.CONTROLLER,
+    ) -> Optional[Subflow]:
+        """Create an additional (MP_JOIN) subflow from an arbitrary four-tuple.
+
+        This is the operation the paper's Netlink ``create subflow`` command
+        performs.  Returns ``None`` when the connection cannot accept more
+        subflows (not established yet, closing, or at the configured cap).
+        """
+        if self.closed or self._close_requested or not self.established or self.remote_token is None:
+            return None
+        if len(self.active_subflows) >= self._config.max_subflows:
+            return None
+        remote_addr = IPAddress(remote_address) if remote_address is not None else self.remote_address
+        rport = remote_port if remote_port is not None else self.remote_port
+        lport = local_port if local_port is not None else self._stack.allocate_port()
+        socket = self._stack.create_subflow_socket(self, local_address, lport, remote_addr, rport)
+        flow = self._register_subflow(socket, origin, backup=backup)
+        socket.connect()
+        return flow
+
+    def accept_join(self, segment: Segment) -> Optional[Subflow]:
+        """Create a passive subflow from a received MP_JOIN SYN (server side)."""
+        join = segment.find_option(MpJoinOption)
+        if join is None:
+            return None
+        if len(self.active_subflows) >= self._config.max_subflows:
+            return None
+        socket = self._stack.create_subflow_socket(
+            self, segment.dst, segment.dport, segment.src, segment.sport
+        )
+        flow = self._register_subflow(socket, SubflowOrigin.PEER, backup=join.backup)
+        socket.handle_segment(segment)
+        return flow
+
+    def remove_subflow(self, flow: Subflow, reset: bool = True) -> None:
+        """Remove a subflow (the Netlink ``remove subflow`` command).
+
+        ``reset=True`` sends a RST, which is how the Linux path-manager
+        interface removes subflows; ``reset=False`` closes it gracefully.
+        """
+        if flow.is_closed:
+            return
+        if reset:
+            flow.socket.abort(errno.ECONNRESET)
+        else:
+            flow.socket.close()
+
+    def set_backup(self, flow: Subflow, backup: bool) -> None:
+        """Change a subflow's backup priority and signal it with MP_PRIO."""
+        flow.backup = backup
+        flow.socket.backup = backup
+        self._pending_options.append(MpPrioOption(backup=backup))
+        if flow.is_established:
+            flow.socket.send_ack()
+
+    def _register_subflow(self, socket: TcpSocket, origin: SubflowOrigin, backup: bool) -> Subflow:
+        flow = Subflow(self._next_subflow_id, socket, origin, backup=backup)
+        self._next_subflow_id += 1
+        self._subflows.append(flow)
+        self._subflow_by_socket[id(socket)] = flow
+        return flow
+
+    def _subflow_for(self, socket: TcpSocket) -> Optional[Subflow]:
+        return self._subflow_by_socket.get(id(socket))
+
+    # ------------------------------------------------------------------
+    # SubflowObserver: options supplied to outgoing segments
+    # ------------------------------------------------------------------
+    def handshake_options(self, sock: TcpSocket, kind: str) -> tuple:
+        flow = self._subflow_for(sock)
+        if flow is None:
+            return ()
+        if flow.is_initial:
+            if kind == "syn":
+                return (MpCapableOption(sender_key=self.local_key),)
+            if kind == "synack":
+                return (MpCapableOption(sender_key=self.local_key),)
+            # Third ACK: echo both keys (receiver key once known).
+            return (MpCapableOption(sender_key=self.local_key, receiver_key=self.remote_key),)
+        token = self.remote_token if self.remote_token is not None else 0
+        if kind == "syn":
+            return (MpJoinOption(token=token, address_id=flow.id, backup=flow.backup),)
+        if kind == "synack":
+            return (MpJoinOption(token=self.local_token, address_id=flow.id, backup=flow.backup),)
+        return (MpJoinOption(token=token, address_id=flow.id, backup=flow.backup),)
+
+    def data_options(self, sock: TcpSocket, metadata: Any) -> tuple:
+        mapping: Optional[DssMapping] = metadata
+        options: list = []
+        if mapping is not None:
+            options.append(
+                DssOption(
+                    data_seq=mapping.data_seq,
+                    data_len=mapping.length,
+                    data_ack=self._data_ack_value(),
+                )
+            )
+        else:
+            options.append(DssOption(data_ack=self._data_ack_value()))
+        options.extend(self._drain_pending_options())
+        return tuple(options)
+
+    def ack_options(self, sock: TcpSocket) -> tuple:
+        if self._data_fin_seq is not None and not self._data_fin_acked:
+            # Keep signalling the DATA_FIN until the peer's data ack covers
+            # it, like TCP keeps the FIN bit on retransmitted segments.
+            dss = DssOption(
+                data_seq=self._data_fin_seq,
+                data_ack=self._data_ack_value(),
+                data_fin=True,
+            )
+        else:
+            dss = DssOption(data_ack=self._data_ack_value())
+        options: list = [dss]
+        options.extend(self._drain_pending_options())
+        return tuple(options)
+
+    def _drain_pending_options(self) -> list:
+        if not self._pending_options:
+            return []
+        pending = self._pending_options
+        self._pending_options = []
+        return pending
+
+    def _data_ack_value(self) -> int:
+        ack = self._data_reassembly.rcv_nxt
+        if self._remote_fin_consumed:
+            ack += 1
+        return ack
+
+    # ------------------------------------------------------------------
+    # SubflowObserver: incoming options and data
+    # ------------------------------------------------------------------
+    def segment_options_received(self, sock: TcpSocket, segment: Segment) -> None:
+        flow = self._subflow_for(sock)
+        capable = segment.find_option(MpCapableOption)
+        if capable is not None and self.remote_key is None:
+            self._learn_remote_key(capable.sender_key)
+        dss = segment.find_option(DssOption)
+        if dss is not None:
+            if dss.data_ack is not None:
+                self._process_data_ack(dss.data_ack)
+            if dss.data_fin and dss.data_seq is not None:
+                # The DATA_FIN occupies the data-sequence slot right after
+                # the peer's last byte (``data_seq`` when no mapping is
+                # attached, the end of the mapping otherwise).
+                self._remote_fin_seq = dss.mapping_end if dss.has_mapping else dss.data_seq
+                self._check_remote_data_fin(flow)
+        fastclose = segment.find_option(MpFastcloseOption)
+        if fastclose is not None and not self.closed:
+            # The peer aborted the whole MPTCP connection.
+            self.abort(errno.ECONNRESET, notify_peer=False)
+            return
+        add_addr = segment.find_option(AddAddrOption)
+        if add_addr is not None:
+            self._process_add_addr(add_addr)
+        prio = segment.find_option(MpPrioOption)
+        if prio is not None and flow is not None:
+            flow.backup = prio.backup
+            flow.socket.backup = prio.backup
+
+    def on_data(self, sock: TcpSocket, segment: Segment, new_bytes: int) -> None:
+        dss = segment.find_option(DssOption)
+        if dss is None or not dss.has_mapping:
+            return
+        before = self._data_reassembly.rcv_nxt
+        self._data_reassembly.register(dss.data_seq, dss.data_len)
+        advanced = self._data_reassembly.rcv_nxt - before
+        if advanced > 0:
+            self._bytes_received_total += advanced
+            self._listener.on_data(self, advanced)
+        flow = self._subflow_for(sock)
+        self._check_remote_data_fin(flow)
+
+    def on_acked(self, sock: TcpSocket, metadata_list: list, newly_acked: int) -> None:
+        # Subflow-level acknowledgement.  Data-level progress is tracked via
+        # the DSS data_ack (already processed); this hook only tries to push
+        # more data into the window that just opened.
+        self._push_data()
+
+    def on_send_space(self, sock: TcpSocket) -> None:
+        self._push_data()
+
+    # ------------------------------------------------------------------
+    # SubflowObserver: life-cycle events
+    # ------------------------------------------------------------------
+    def on_established(self, sock: TcpSocket) -> None:
+        flow = self._subflow_for(sock)
+        if flow is None:
+            return
+        flow.mark_established(self._sim.now)
+        if flow.is_initial and not self.established:
+            self.established = True
+            self.established_at = self._sim.now
+            self._announce_local_addresses(flow)
+            self._stack.notify_connection_established(self)
+            self._listener.on_connection_established(self)
+        self._stack.notify_subflow_established(self, flow)
+        self._push_data()
+
+    def on_rto_expired(self, sock: TcpSocket, rto: float, consecutive: int) -> None:
+        flow = self._subflow_for(sock)
+        if flow is None:
+            return
+        self._stack.notify_rto_timeout(self, flow, rto, consecutive)
+        if self._config.reinject_on_timeout:
+            # Opportunistic reinjection, Linux-style: only the oldest
+            # outstanding mapping of the timed-out subflow is handed to the
+            # other subflows.  Reinjecting the whole outstanding window on
+            # every expiry would flood the healthy paths with duplicates.
+            self._reinject_outstanding(flow, head_only=True)
+        self._push_data()
+
+    def on_fin_received(self, sock: TcpSocket) -> None:
+        # Subflow-level FIN: nothing to do at the connection level; the
+        # DATA_FIN drives connection teardown.
+        return
+
+    def on_closed(self, sock: TcpSocket, reason: int) -> None:
+        flow = self._subflow_for(sock)
+        if flow is None:
+            return
+        # "Already closed" must look at the subflow-level mark only: the
+        # socket itself is always CLOSED by the time this callback runs.
+        already_closed = flow.closed_at is not None
+        flow.mark_closed(self._sim.now, reason)
+        self._stack.unregister_socket(sock)
+        if not already_closed:
+            self._stack.notify_subflow_closed(self, flow, reason)
+        if self._config.reinject_on_close and not self.closed:
+            self._reinject_outstanding(flow)
+            self._push_data()
+        if all(f.is_closed for f in self._subflows):
+            if self._close_requested or self._remote_fin_consumed or self._aborted:
+                self._finalise_close()
+
+    # ------------------------------------------------------------------
+    # data-plane internals
+    # ------------------------------------------------------------------
+    def _push_data(self) -> None:
+        if self.closed:
+            return
+        while self._unassigned:
+            start, end = self._unassigned[0]
+            if end <= self._data_una:
+                self._unassigned.popleft()
+                continue
+            start = max(start, self._data_una)
+            chunk = min(end - start, self._mss)
+            flow = self._scheduler.select(self._subflows, chunk)
+            if flow is None:
+                break
+            window = flow.socket.available_window()
+            if window <= 0:
+                break
+            send_len = min(chunk, window)
+            mapping = DssMapping(start, send_len)
+            if not flow.socket.send_data(send_len, mapping):
+                break
+            flow.bytes_scheduled += send_len
+            new_start = start + send_len
+            if new_start >= end:
+                self._unassigned.popleft()
+            else:
+                self._unassigned[0] = (new_start, end)
+        if not self._meta_rtx_timer.armed:
+            self._restart_meta_timer()
+        self._maybe_send_data_fin()
+
+    # -- connection-level retransmission timer --------------------------
+    def _restart_meta_timer(self) -> None:
+        """(Re)arm or stop the meta retransmission timer.
+
+        The timer runs while connection-level data is outstanding.  Its
+        period is never shorter than the slowest active subflow's RTO: the
+        subflows get the first chance to repair their own losses, and the
+        meta timer only steps in when a path is stuck for good.
+        """
+        if self.closed:
+            self._meta_rtx_timer.stop()
+            return
+        outstanding = self._data_una < self._data_write_nxt
+        if not outstanding:
+            self._meta_rtx_timer.stop()
+            return
+        rtos = [flow.socket.rtt.rto for flow in self.active_subflows]
+        base = max(rtos) if rtos else 1.0
+        period = min(60.0, max(1.0, base) * (2.0 ** self._meta_backoff))
+        self._meta_rtx_timer.start(period)
+
+    def _on_meta_rto(self) -> None:
+        if self.closed or self._data_una >= self._data_write_nxt:
+            return
+        self.meta_rto_expirations += 1
+        self._meta_backoff += 1
+        start = self._data_una
+        end = min(self._data_write_nxt, start + self._mss)
+        if not self._range_pending(start, end):
+            self._unassigned.appendleft((start, end))
+        self._push_data()
+        self._restart_meta_timer()
+
+    def _reinject_outstanding(self, flow: Subflow, head_only: bool = False) -> None:
+        """Queue the given subflow's unacknowledged data for other subflows."""
+        mappings = [m for m in flow.socket.outstanding_metadata() if isinstance(m, DssMapping)]
+        if head_only and mappings:
+            mappings = mappings[:1]
+        for mapping in mappings:
+            if mapping.end <= self._data_una:
+                continue
+            start = max(mapping.data_seq, self._data_una)
+            if self._range_pending(start, mapping.end):
+                continue
+            self._unassigned.appendleft((start, mapping.end))
+            flow.reinjected_bytes += mapping.end - start
+
+    def _range_pending(self, start: int, end: int) -> bool:
+        for queued_start, queued_end in self._unassigned:
+            if queued_start <= start and end <= queued_end:
+                return True
+        return False
+
+    def _process_data_ack(self, ack: int) -> None:
+        fin_extra = 1 if self._data_fin_seq is not None else 0
+        ack = min(ack, self._data_write_nxt + fin_extra)
+        if ack <= self._data_una:
+            return
+        self._data_una = min(ack, self._data_write_nxt)
+        self._meta_backoff = 0
+        self._restart_meta_timer()
+        self._listener.on_data_acked(self, self._data_una)
+        if (
+            self._data_fin_seq is not None
+            and not self._data_fin_acked
+            and ack >= self._data_fin_seq + 1
+        ):
+            self._data_fin_acked = True
+            self._data_fin_timer.stop()
+            self._close_subflows_gracefully()
+        self._maybe_send_data_fin()
+
+    # ------------------------------------------------------------------
+    # connection teardown
+    # ------------------------------------------------------------------
+    def _maybe_send_data_fin(self) -> None:
+        if not self._close_requested or self._data_fin_seq is not None or self.closed:
+            return
+        if self._unassigned or self._data_una < self._data_write_nxt:
+            return
+        self._data_fin_seq = self._data_write_nxt
+        self._transmit_data_fin()
+        self._data_fin_timer.start(1.0)
+
+    def _transmission_capable_subflows(self) -> list[Subflow]:
+        """Subflows whose socket can still emit segments (not fully closed).
+
+        Connection-level signalling (DATA_FIN, the final data ack) must keep
+        working while subflows are in FIN_WAIT/CLOSE_WAIT, exactly like the
+        real stack keeps exchanging DSS options during teardown.
+        """
+        capable = []
+        for flow in self._subflows:
+            sock = flow.socket
+            if sock.closed_at is None and sock.state.value != "CLOSED":
+                capable.append(flow)
+        return capable
+
+    def _transmit_data_fin(self) -> None:
+        capable = self._transmission_capable_subflows()
+        if not capable:
+            # No subflow left to carry the DATA_FIN: nothing more we can do;
+            # closure completes when the subflows are all gone.
+            return
+        # ack_options() adds the DATA_FIN flag while it is unacknowledged.
+        capable[0].socket.send_ack()
+
+    def _retransmit_data_fin(self) -> None:
+        if self._data_fin_acked or self.closed:
+            return
+        self._transmit_data_fin()
+        self._data_fin_timer.start(1.0)
+
+    def _check_remote_data_fin(self, flow: Optional[Subflow]) -> None:
+        if self._remote_fin_consumed or self._remote_fin_seq is None:
+            return
+        if self._data_reassembly.rcv_nxt >= self._remote_fin_seq:
+            self._remote_fin_consumed = True
+            self._listener.on_connection_finished(self)
+            capable = self._transmission_capable_subflows()
+            if flow is not None and flow in capable:
+                flow.socket.send_ack()
+            elif capable:
+                capable[0].socket.send_ack()
+
+    def _close_subflows_gracefully(self) -> None:
+        for flow in list(self._subflows):
+            if not flow.is_closed:
+                flow.socket.close()
+
+    def _finalise_close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.closed_at = self._sim.now
+        self._data_fin_timer.stop()
+        self._meta_rtx_timer.stop()
+        self._stack.notify_connection_closed(self)
+        self._listener.on_connection_closed(self)
+
+    # ------------------------------------------------------------------
+    # address handling
+    # ------------------------------------------------------------------
+    def _learn_remote_key(self, key: int) -> None:
+        self.remote_key = key
+        self.remote_token = derive_token(key)
+        self._stack.register_remote_token(self)
+
+    def _announce_local_addresses(self, initial_flow: Subflow) -> None:
+        if not self._config.announce_addresses:
+            return
+        local = initial_flow.socket.local_address
+        next_id = 1
+        for address in self._stack.local_addresses():
+            if address == local:
+                continue
+            self._announced_local_ids[next_id] = address
+            self._pending_options.append(AddAddrOption(address_id=next_id, address=address))
+            next_id += 1
+        if self._pending_options and initial_flow.is_established:
+            initial_flow.socket.send_ack()
+
+    def _process_add_addr(self, option: AddAddrOption) -> None:
+        known = self._remote_addresses.get(option.address_id)
+        if known is not None and known[0] == option.address:
+            return
+        self._remote_addresses[option.address_id] = (option.address, option.port or self.remote_port)
+        self._stack.notify_add_addr(self, option.address_id, option.address, option.port or self.remote_port)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "client" if self.is_client else "server"
+        return (
+            f"<MptcpConnection {role} token={self.local_token:#x} "
+            f"subflows={len(self._subflows)} estab={self.established} closed={self.closed}>"
+        )

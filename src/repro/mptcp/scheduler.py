@@ -1,0 +1,120 @@
+"""Packet schedulers.
+
+The scheduler is the data-plane decision the paper deliberately leaves in
+the kernel: given the subflows that currently have congestion-window space,
+pick the one on which the next chunk of data is transmitted.  The Linux
+default — and the one used throughout the paper's experiments — prefers the
+established subflow with the lowest smoothed RTT; round-robin and redundant
+schedulers are provided for completeness and for the scheduler ablation
+benchmark.
+
+Backup semantics (RFC 6824): subflows flagged as backup are only eligible
+when no non-backup subflow is usable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+from repro.mptcp.subflow import Subflow
+
+
+class Scheduler(ABC):
+    """Chooses the subflow that carries the next data chunk."""
+
+    name = "abstract"
+
+    def eligible(self, subflows: Sequence[Subflow]) -> list[Subflow]:
+        """Filter subflows the scheduler may use right now.
+
+        Applies establishment, window and backup-priority rules; the
+        concrete scheduler then ranks the survivors.
+        """
+        usable = [flow for flow in subflows if flow.is_usable]
+        regular = [flow for flow in usable if not flow.backup]
+        candidates = regular if regular else usable
+        return [flow for flow in candidates if flow.socket.available_window() > 0]
+
+    @abstractmethod
+    def select(self, subflows: Sequence[Subflow], chunk_len: int) -> Optional[Subflow]:
+        """Return the subflow to use for the next chunk, or ``None`` to wait."""
+
+
+class LowestRttScheduler(Scheduler):
+    """The Linux default: lowest smoothed RTT wins.
+
+    Subflows without an RTT estimate yet (just established) are preferred
+    over measured ones, matching the kernel's behaviour of probing new
+    subflows immediately.
+    """
+
+    name = "lowest_rtt"
+
+    def select(self, subflows: Sequence[Subflow], chunk_len: int) -> Optional[Subflow]:
+        candidates = self.eligible(subflows)
+        if not candidates:
+            return None
+        def key(flow: Subflow) -> tuple:
+            srtt = flow.socket.rtt.srtt
+            return (srtt is not None, srtt if srtt is not None else 0.0, flow.id)
+        return min(candidates, key=key)
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle over the eligible subflows regardless of their RTT."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._last_id: Optional[int] = None
+
+    def select(self, subflows: Sequence[Subflow], chunk_len: int) -> Optional[Subflow]:
+        candidates = sorted(self.eligible(subflows), key=lambda flow: flow.id)
+        if not candidates:
+            return None
+        if self._last_id is not None:
+            for flow in candidates:
+                if flow.id > self._last_id:
+                    self._last_id = flow.id
+                    return flow
+        chosen = candidates[0]
+        self._last_id = chosen.id
+        return chosen
+
+
+class RedundantScheduler(Scheduler):
+    """Always pick the lowest-RTT subflow, ignoring backup priority.
+
+    This models "redundant"-style schedulers that trade efficiency for
+    latency by never letting a backup path sit idle.  It reuses the
+    lowest-RTT ranking but widens the eligible set.
+    """
+
+    name = "redundant"
+
+    def eligible(self, subflows: Sequence[Subflow]) -> list[Subflow]:
+        usable = [flow for flow in subflows if flow.is_usable]
+        return [flow for flow in usable if flow.socket.available_window() > 0]
+
+    def select(self, subflows: Sequence[Subflow], chunk_len: int) -> Optional[Subflow]:
+        candidates = self.eligible(subflows)
+        if not candidates:
+            return None
+        def key(flow: Subflow) -> tuple:
+            srtt = flow.socket.rtt.srtt
+            return (srtt is not None, srtt if srtt is not None else 0.0, flow.id)
+        return min(candidates, key=key)
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Factory used by the stack configuration."""
+    registry = {
+        "lowest_rtt": LowestRttScheduler,
+        "round_robin": RoundRobinScheduler,
+        "redundant": RedundantScheduler,
+    }
+    try:
+        return registry[name.lower()]()
+    except KeyError:
+        raise ValueError(f"unknown scheduler {name!r} (expected one of {sorted(registry)})") from None

@@ -1,0 +1,349 @@
+"""The per-host MPTCP stack.
+
+The stack is the reproduction of "the kernel" on one host: it owns the
+listening ports, demultiplexes incoming segments to subflow sockets (by
+four-tuple for established subflows, by MP_CAPABLE/MP_JOIN options for new
+SYNs), creates connections and subflow sockets, and fans life-cycle
+notifications out to the installed path manager — which is either one of
+the in-kernel strategies of :mod:`repro.mptcp.path_manager` or the paper's
+Netlink path manager from :mod:`repro.core.netlink_pm`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.mptcp.config import MptcpConfig
+from repro.mptcp.connection import ConnectionListener, MptcpConnection
+from repro.mptcp.options import MpCapableOption, MpJoinOption
+from repro.mptcp.path_manager import PassivePathManager, PathManager
+from repro.mptcp.scheduler import make_scheduler
+from repro.mptcp.subflow import Subflow
+from repro.mptcp.token import generate_key
+from repro.net.addressing import FourTuple, IPAddress
+from repro.net.host import Host
+from repro.net.interface import Interface
+from repro.net.packet import Segment, TCPFlags
+from repro.sim.engine import Simulator
+from repro.tcp.congestion import CouplingGroup, make_congestion_control
+from repro.tcp.socket import TcpSocket
+
+ListenerFactory = Callable[[], ConnectionListener]
+
+
+class MptcpStack:
+    """The MPTCP transport stack installed on one :class:`repro.net.host.Host`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        config: Optional[MptcpConfig] = None,
+        path_manager: Optional[PathManager] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self._sim = sim
+        self._host = host
+        self._config = config if config is not None else MptcpConfig()
+        self._config.validate()
+        self._name = name if name is not None else host.name
+        self._rng = sim.random.substream(f"stack:{self._name}")
+
+        self._listeners: dict[int, ListenerFactory] = {}
+        self._sockets: dict[FourTuple, TcpSocket] = {}
+        self._connections: list[MptcpConnection] = []
+        self._conn_by_token: dict[int, MptcpConnection] = {}
+        self._cc_groups: dict[int, CouplingGroup] = {}
+        self._used_ports: set[int] = set()
+
+        self._path_manager = path_manager if path_manager is not None else PassivePathManager()
+        self._path_manager.attach(self)
+
+        host.install_stack(self)
+
+        # Counters used by tests and reports.
+        self.segments_delivered = 0
+        self.segments_unmatched = 0
+        self.resets_sent = 0
+        self.connections_accepted = 0
+        self.connections_initiated = 0
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def sim(self) -> Simulator:
+        """The simulation engine."""
+        return self._sim
+
+    @property
+    def host(self) -> Host:
+        """The host this stack is installed on."""
+        return self._host
+
+    @property
+    def name(self) -> str:
+        """Stack name (defaults to the host name)."""
+        return self._name
+
+    @property
+    def mptcp_config(self) -> MptcpConfig:
+        """The MPTCP configuration in effect."""
+        return self._config
+
+    @property
+    def path_manager(self) -> PathManager:
+        """The installed (kernel-side) path manager."""
+        return self._path_manager
+
+    @property
+    def connections(self) -> list[MptcpConnection]:
+        """Connections that are not yet fully closed (do not mutate)."""
+        return self._connections
+
+    def local_addresses(self) -> list[IPAddress]:
+        """Addresses of the host's interfaces that are currently up."""
+        return self._host.addresses(only_up=True)
+
+    def connection_by_token(self, token: int) -> Optional[MptcpConnection]:
+        """Look up a connection by its local token (Netlink commands use this)."""
+        return self._conn_by_token.get(token)
+
+    # ------------------------------------------------------------------
+    # application API
+    # ------------------------------------------------------------------
+    def listen(self, port: int, listener_factory: ListenerFactory) -> None:
+        """Accept MPTCP connections on ``port``.
+
+        ``listener_factory`` is called once per accepted connection and must
+        return the :class:`ConnectionListener` that will receive its events.
+        """
+        if not 0 < port <= 0xFFFF:
+            raise ValueError(f"port out of range: {port!r}")
+        if port in self._listeners:
+            raise ValueError(f"port {port} is already listening on {self._name}")
+        self._listeners[port] = listener_factory
+        self._used_ports.add(port)
+
+    def connect(
+        self,
+        remote_address: IPAddress | str,
+        remote_port: int,
+        listener: Optional[ConnectionListener] = None,
+        local_address: Optional[IPAddress | str] = None,
+        local_port: Optional[int] = None,
+    ) -> MptcpConnection:
+        """Open an MPTCP connection to ``remote_address:remote_port``.
+
+        The initial subflow leaves from ``local_address`` when given,
+        otherwise from the interface the host routes the destination
+        through.
+        """
+        remote = IPAddress(remote_address)
+        if local_address is None:
+            iface = self._host.route(remote)
+            if iface is None:
+                raise RuntimeError(f"host {self._host.name} has no usable interface towards {remote}")
+            local = iface.address
+        else:
+            local = IPAddress(local_address)
+        port = local_port if local_port is not None else self.allocate_port()
+        conn = MptcpConnection(
+            stack=self,
+            listener=listener,
+            scheduler=make_scheduler(self._config.scheduler),
+            local_key=generate_key(self._rng),
+            is_client=True,
+            remote_address=remote,
+            remote_port=remote_port,
+        )
+        self._register_connection(conn)
+        self.connections_initiated += 1
+        conn.open_initial_subflow(local, port)
+        return conn
+
+    # ------------------------------------------------------------------
+    # socket plumbing used by connections
+    # ------------------------------------------------------------------
+    def allocate_port(self) -> int:
+        """Pick an unused ephemeral port (mirrors the kernel's random choice)."""
+        for _ in range(10_000):
+            port = self._rng.ephemeral_port()
+            if port not in self._used_ports:
+                self._used_ports.add(port)
+                return port
+        raise RuntimeError(f"stack {self._name} ran out of ephemeral ports")
+
+    def create_subflow_socket(
+        self,
+        conn: MptcpConnection,
+        local_address: IPAddress,
+        local_port: int,
+        remote_address: IPAddress,
+        remote_port: int,
+    ) -> TcpSocket:
+        """Create (and register) the TCP socket backing a new subflow."""
+        group = self._cc_groups.setdefault(conn.local_token, CouplingGroup())
+        congestion = make_congestion_control(
+            self._config.tcp.congestion_control,
+            self._config.tcp.mss,
+            self._config.tcp.initial_cwnd_segments,
+            self._config.tcp.initial_ssthresh_bytes,
+            group=group,
+        )
+        self._used_ports.add(local_port)
+        socket = TcpSocket(
+            sim=self._sim,
+            local_addr=local_address,
+            local_port=local_port,
+            remote_addr=remote_address,
+            remote_port=remote_port,
+            transmit=self._transmit,
+            observer=conn,
+            config=self._config.tcp,
+            congestion=congestion,
+            name=f"{self._name}:{local_address}:{local_port}",
+        )
+        self.register_socket(socket)
+        return socket
+
+    def register_socket(self, socket: TcpSocket) -> None:
+        """Add a socket to the four-tuple demultiplexing table."""
+        self._sockets[socket.four_tuple] = socket
+
+    def unregister_socket(self, socket: TcpSocket) -> None:
+        """Remove a socket from the demultiplexing table (idempotent)."""
+        self._sockets.pop(socket.four_tuple, None)
+
+    def register_remote_token(self, conn: MptcpConnection) -> None:
+        """Hook kept for symmetry; only local tokens are used for demux."""
+
+    def _transmit(self, segment: Segment) -> None:
+        self._host.send(segment)
+
+    # ------------------------------------------------------------------
+    # segment reception (Host -> stack)
+    # ------------------------------------------------------------------
+    def on_segment(self, segment: Segment, iface: Interface) -> None:
+        """Demultiplex one received segment."""
+        key = FourTuple(segment.dst, segment.dport, segment.src, segment.sport)
+        socket = self._sockets.get(key)
+        if socket is not None:
+            self.segments_delivered += 1
+            socket.handle_segment(segment)
+            return
+        if segment.is_syn and not segment.is_ack:
+            self._handle_new_syn(segment)
+            return
+        self.segments_unmatched += 1
+        if not segment.is_rst:
+            self._send_reset(segment)
+
+    def _handle_new_syn(self, segment: Segment) -> None:
+        factory = self._listeners.get(segment.dport)
+        join = segment.find_option(MpJoinOption)
+        if join is not None:
+            conn = self._conn_by_token.get(join.token)
+            if conn is None or conn.closed:
+                self._send_reset(segment)
+                return
+            flow = conn.accept_join(segment)
+            if flow is None:
+                self._send_reset(segment)
+            return
+        if factory is None:
+            self.segments_unmatched += 1
+            self._send_reset(segment)
+            return
+        capable = segment.find_option(MpCapableOption)
+        if capable is None:
+            # Plain TCP SYNs are not served by this reproduction: every
+            # application in the paper's evaluation runs over MPTCP.
+            self._send_reset(segment)
+            return
+        listener = factory()
+        conn = MptcpConnection(
+            stack=self,
+            listener=listener,
+            scheduler=make_scheduler(self._config.scheduler),
+            local_key=generate_key(self._rng),
+            is_client=False,
+            remote_address=segment.src,
+            remote_port=segment.sport,
+        )
+        self._register_connection(conn)
+        self.connections_accepted += 1
+        conn.accept_initial_subflow(segment)
+
+    def _send_reset(self, segment: Segment) -> None:
+        reset = Segment(
+            src=segment.dst,
+            dst=segment.src,
+            sport=segment.dport,
+            dport=segment.sport,
+            seq=segment.ack,
+            ack=segment.end_seq,
+            flags=TCPFlags.RST | TCPFlags.ACK,
+        )
+        self.resets_sent += 1
+        self._host.send(reset)
+
+    # ------------------------------------------------------------------
+    # connection registry & path-manager notifications
+    # ------------------------------------------------------------------
+    def _register_connection(self, conn: MptcpConnection) -> None:
+        self._connections.append(conn)
+        self._conn_by_token[conn.local_token] = conn
+
+    def notify_connection_created(self, conn: MptcpConnection, flow: Subflow) -> None:
+        """Called by the connection when its initial subflow starts."""
+        self._path_manager.on_connection_created(conn)
+
+    def notify_connection_established(self, conn: MptcpConnection) -> None:
+        """Called when the initial subflow's handshake completes."""
+        self._path_manager.on_connection_established(conn)
+
+    def notify_connection_closed(self, conn: MptcpConnection) -> None:
+        """Called when the connection fully terminates."""
+        if conn in self._connections:
+            self._connections.remove(conn)
+        self._conn_by_token.pop(conn.local_token, None)
+        self._cc_groups.pop(conn.local_token, None)
+        self._path_manager.on_connection_closed(conn)
+
+    def notify_subflow_established(self, conn: MptcpConnection, flow: Subflow) -> None:
+        """Called when any subflow's handshake completes."""
+        self._path_manager.on_subflow_established(conn, flow)
+
+    def notify_subflow_closed(self, conn: MptcpConnection, flow: Subflow, reason: int) -> None:
+        """Called when any subflow terminates."""
+        self._path_manager.on_subflow_closed(conn, flow, reason)
+
+    def notify_rto_timeout(self, conn: MptcpConnection, flow: Subflow, rto: float, consecutive: int) -> None:
+        """Called when a subflow's retransmission timer expires."""
+        self._path_manager.on_rto_timeout(conn, flow, rto, consecutive)
+
+    def notify_add_addr(self, conn: MptcpConnection, address_id: int, address: IPAddress, port: int) -> None:
+        """Called when the peer advertises an address."""
+        self._path_manager.on_add_addr(conn, address_id, address, port)
+
+    def notify_rem_addr(self, conn: MptcpConnection, address_id: int) -> None:
+        """Called when the peer withdraws an address."""
+        self._path_manager.on_rem_addr(conn, address_id)
+
+    # ------------------------------------------------------------------
+    # interface events (Host -> stack -> path manager)
+    # ------------------------------------------------------------------
+    def on_local_address_up(self, iface: Interface) -> None:
+        """A local interface came up."""
+        self._path_manager.on_local_address_up(iface)
+
+    def on_local_address_down(self, iface: Interface) -> None:
+        """A local interface went down."""
+        self._path_manager.on_local_address_down(iface)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MptcpStack {self._name} connections={len(self._connections)} "
+            f"sockets={len(self._sockets)} pm={self._path_manager.name}>"
+        )

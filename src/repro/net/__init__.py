@@ -1,0 +1,35 @@
+"""Packet-level network emulation.
+
+This package plays the role that Mininet (plus the Linux netem qdisc) plays
+in the paper: hosts with several interfaces, duplex links with configurable
+rate / one-way delay / random loss / queue size, routers that load-balance
+flows with an ECMP hash over the four-tuple, and NAT/firewall middleboxes
+that expire idle flow state.
+"""
+
+from repro.net.addressing import FourTuple, IPAddress, ip
+from repro.net.host import Host
+from repro.net.interface import Interface
+from repro.net.link import Link
+from repro.net.middlebox import NatFirewall
+from repro.net.node import Node
+from repro.net.packet import Segment, TCPFlags
+from repro.net.router import EcmpGroup, Router
+from repro.net.tracer import PacketRecord, PacketTracer
+
+__all__ = [
+    "IPAddress",
+    "ip",
+    "FourTuple",
+    "Segment",
+    "TCPFlags",
+    "Link",
+    "Interface",
+    "Node",
+    "Host",
+    "Router",
+    "EcmpGroup",
+    "NatFirewall",
+    "PacketTracer",
+    "PacketRecord",
+]

@@ -1,0 +1,222 @@
+"""Duplex links with rate, delay, loss and a drop-tail queue.
+
+This is the netem-equivalent of the reproduction.  Each direction of a link
+has its own transmitter and queue, so a saturated downlink does not block
+the uplink ACK stream (that asymmetry matters for TCP dynamics).
+
+The loss model draws an independent Bernoulli per packet, exactly like the
+``loss X%`` netem knob the paper's Mininet scripts use.  Loss is charged
+*after* the serialisation delay: a lost packet still occupied the sender's
+transmitter, as it does on a real lossy wireless hop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.net.interface import Interface
+from repro.net.packet import Segment
+from repro.sim.engine import Simulator
+
+
+class _Direction:
+    """State for one direction of a duplex link."""
+
+    __slots__ = ("queue", "busy", "tx_packets", "tx_bytes", "dropped_queue", "dropped_loss")
+
+    def __init__(self, queue_capacity: int) -> None:
+        self.queue: deque[Segment] = deque()
+        self.busy = False
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.dropped_queue = 0
+        self.dropped_loss = 0
+
+
+class Link:
+    """A point-to-point duplex link between two interfaces.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine.
+    rate_bps:
+        Transmission rate of each direction, in bits per second.
+    delay:
+        One-way propagation delay in seconds.
+    loss_rate:
+        Per-packet drop probability in ``[0, 1]``.
+    queue_packets:
+        Drop-tail queue capacity (packets waiting behind the one currently
+        being serialised).
+    name:
+        Optional label used by traces.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float = 1_000_000_000.0,
+        delay: float = 0.0001,
+        loss_rate: float = 0.0,
+        queue_packets: int = 100,
+        name: str = "link",
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps!r}")
+        if delay < 0:
+            raise ValueError(f"link delay cannot be negative, got {delay!r}")
+        if queue_packets < 1:
+            raise ValueError(f"queue must hold at least one packet, got {queue_packets!r}")
+        self._sim = sim
+        self._rate_bps = float(rate_bps)
+        self._delay = float(delay)
+        self._loss_rate = float(loss_rate)
+        self._queue_capacity = int(queue_packets)
+        self._name = name
+        self._ends: dict[int, Interface] = {}
+        self._directions: dict[int, _Direction] = {}
+        self._rng = sim.random.substream(f"link:{name}")
+        self._observers: list[Callable[[Segment, Interface, Interface], None]] = []
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    @classmethod
+    def mbps(
+        cls,
+        sim: Simulator,
+        rate_mbps: float,
+        delay_ms: float,
+        loss_percent: float = 0.0,
+        queue_packets: int = 100,
+        name: str = "link",
+    ) -> "Link":
+        """Construct a link with Mininet-style units (Mbps, ms, percent)."""
+        return cls(
+            sim,
+            rate_bps=rate_mbps * 1_000_000.0,
+            delay=delay_ms / 1000.0,
+            loss_rate=loss_percent / 100.0,
+            queue_packets=queue_packets,
+            name=name,
+        )
+
+    @property
+    def name(self) -> str:
+        """Link label."""
+        return self._name
+
+    @property
+    def rate_bps(self) -> float:
+        """Per-direction rate in bits per second."""
+        return self._rate_bps
+
+    @property
+    def delay(self) -> float:
+        """One-way propagation delay in seconds."""
+        return self._delay
+
+    @property
+    def loss_rate(self) -> float:
+        """Current per-packet loss probability."""
+        return self._loss_rate
+
+    def set_loss_rate(self, loss_rate: float) -> None:
+        """Change the loss probability at runtime (used by the §4.2/§4.3 scenarios)."""
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss rate must be within [0, 1], got {loss_rate!r}")
+        self._loss_rate = float(loss_rate)
+
+    def set_delay(self, delay: float) -> None:
+        """Change the one-way propagation delay at runtime."""
+        if delay < 0:
+            raise ValueError(f"link delay cannot be negative, got {delay!r}")
+        self._delay = float(delay)
+
+    def connect(self, side_a: Interface, side_b: Interface) -> "Link":
+        """Plug the two interfaces into this link.  Returns ``self``."""
+        if self._ends:
+            raise RuntimeError(f"link {self._name} is already connected")
+        side_a.attach(self)
+        side_b.attach(self)
+        self._ends[id(side_a)] = side_b
+        self._ends[id(side_b)] = side_a
+        self._directions[id(side_a)] = _Direction(self._queue_capacity)
+        self._directions[id(side_b)] = _Direction(self._queue_capacity)
+        return self
+
+    def peer_of(self, iface: Interface) -> Interface:
+        """The interface at the other end of the link."""
+        try:
+            return self._ends[id(iface)]
+        except KeyError:
+            raise RuntimeError(f"interface {iface.full_name} is not attached to link {self._name}") from None
+
+    def add_observer(self, callback: Callable[[Segment, Interface, Interface], None]) -> None:
+        """Register a callback invoked for every segment *delivered* by the link.
+
+        The callback receives ``(segment, from_interface, to_interface)`` and
+        is used by :class:`repro.net.tracer.PacketTracer`.
+        """
+        self._observers.append(callback)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Aggregate per-link counters (both directions combined)."""
+        totals = {"tx_packets": 0, "tx_bytes": 0, "dropped_queue": 0, "dropped_loss": 0}
+        for direction in self._directions.values():
+            totals["tx_packets"] += direction.tx_packets
+            totals["tx_bytes"] += direction.tx_bytes
+            totals["dropped_queue"] += direction.dropped_queue
+            totals["dropped_loss"] += direction.dropped_loss
+        return totals
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def transmit(self, segment: Segment, from_iface: Interface) -> None:
+        """Accept a segment from ``from_iface`` for transmission."""
+        if id(from_iface) not in self._directions:
+            raise RuntimeError(f"interface {from_iface.full_name} is not attached to link {self._name}")
+        direction = self._directions[id(from_iface)]
+        if direction.busy:
+            if len(direction.queue) >= self._queue_capacity:
+                direction.dropped_queue += 1
+                return
+            direction.queue.append(segment)
+            return
+        self._start_transmission(segment, from_iface, direction)
+
+    def _start_transmission(self, segment: Segment, from_iface: Interface, direction: _Direction) -> None:
+        direction.busy = True
+        serialisation = (segment.size_bytes * 8.0) / self._rate_bps
+        self._sim.schedule(serialisation, self._transmission_done, segment, from_iface, direction)
+
+    def _transmission_done(self, segment: Segment, from_iface: Interface, direction: _Direction) -> None:
+        direction.tx_packets += 1
+        direction.tx_bytes += segment.size_bytes
+        if self._rng.chance(self._loss_rate):
+            direction.dropped_loss += 1
+        else:
+            to_iface = self._ends[id(from_iface)]
+            self._sim.schedule(self._delay, self._deliver, segment, from_iface, to_iface)
+        if direction.queue:
+            next_segment = direction.queue.popleft()
+            self._start_transmission(next_segment, from_iface, direction)
+        else:
+            direction.busy = False
+
+    def _deliver(self, segment: Segment, from_iface: Interface, to_iface: Interface) -> None:
+        for observer in self._observers:
+            observer(segment, from_iface, to_iface)
+        to_iface.deliver(segment)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Link {self._name} {self._rate_bps / 1e6:.1f}Mbps "
+            f"{self._delay * 1000:.1f}ms loss={self._loss_rate:.2%}>"
+        )

@@ -1,0 +1,93 @@
+"""Base class for every device attached to the emulated network."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.addressing import IPAddress
+from repro.net.interface import Interface
+from repro.net.packet import Segment
+from repro.sim.engine import Simulator
+
+
+class Node:
+    """A named device with a set of interfaces.
+
+    Subclasses decide what happens to received segments: hosts hand them to
+    their transport stack, routers forward them, middleboxes filter them.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self._sim = sim
+        self._name = name
+        self._interfaces: dict[str, Interface] = {}
+
+    # ------------------------------------------------------------------
+    # identity / topology
+    # ------------------------------------------------------------------
+    @property
+    def sim(self) -> Simulator:
+        """The simulation engine this node is scheduled on."""
+        return self._sim
+
+    @property
+    def name(self) -> str:
+        """Node name, unique within a topology."""
+        return self._name
+
+    @property
+    def interfaces(self) -> dict[str, Interface]:
+        """Mapping of interface name to interface (do not mutate)."""
+        return self._interfaces
+
+    def add_interface(self, name: str, address: IPAddress | str) -> Interface:
+        """Create a new interface with the given name and address."""
+        if name in self._interfaces:
+            raise ValueError(f"node {self._name} already has an interface named {name!r}")
+        iface = Interface(self, name, IPAddress(address))
+        self._interfaces[name] = iface
+        return iface
+
+    def interface(self, name: str) -> Interface:
+        """Look up an interface by name."""
+        try:
+            return self._interfaces[name]
+        except KeyError:
+            raise KeyError(f"node {self._name} has no interface named {name!r}") from None
+
+    def interface_for_address(self, address: IPAddress | str) -> Optional[Interface]:
+        """Return the interface owning ``address``, or ``None``."""
+        wanted = IPAddress(address)
+        for iface in self._interfaces.values():
+            if iface.address == wanted:
+                return iface
+        return None
+
+    def addresses(self, only_up: bool = True) -> list[IPAddress]:
+        """All addresses assigned to this node (by default only up interfaces)."""
+        return [
+            iface.address
+            for iface in self._interfaces.values()
+            if iface.is_up or not only_up
+        ]
+
+    def owns_address(self, address: IPAddress | str) -> bool:
+        """True when any interface (up or down) owns ``address``."""
+        wanted = IPAddress(address)
+        return any(iface.address == wanted for iface in self._interfaces.values())
+
+    # ------------------------------------------------------------------
+    # hooks for subclasses
+    # ------------------------------------------------------------------
+    def receive(self, segment: Segment, iface: Interface) -> None:
+        """Handle a segment delivered to ``iface``.  Subclasses must override."""
+        raise NotImplementedError
+
+    def on_interface_up(self, iface: Interface) -> None:
+        """Called when one of this node's interfaces comes up."""
+
+    def on_interface_down(self, iface: Interface) -> None:
+        """Called when one of this node's interfaces goes down."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self._name} ifaces={list(self._interfaces)}>"

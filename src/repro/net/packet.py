@@ -1,0 +1,175 @@
+"""TCP segments as they travel through the emulated network.
+
+A :class:`Segment` is the unit queued on links, hashed by ECMP routers and
+parsed by the TCP/MPTCP stacks.  Payload bytes are represented by a length
+only (see DESIGN.md): the reproduction never needs actual application bytes,
+which keeps multi-megabyte transfers cheap while preserving every metric the
+paper reports.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from enum import IntFlag
+from typing import Iterable, Optional, Type, TypeVar
+
+from repro.net.addressing import FourTuple, IPAddress
+
+_segment_ids = itertools.count(1)
+
+OptionT = TypeVar("OptionT")
+
+
+class TCPFlags(IntFlag):
+    """The subset of TCP header flags the simulation uses."""
+
+    NONE = 0
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+
+
+# A nominal IPv4 + TCP header cost charged on every segment when computing
+# link serialisation times.  MPTCP options add their own length on top.
+HEADER_BYTES = 40
+
+
+@dataclass
+class Segment:
+    """One TCP segment.
+
+    Attributes
+    ----------
+    src, dst:
+        Network-layer source and destination addresses.
+    sport, dport:
+        Transport-layer ports.
+    seq, ack:
+        Subflow-level sequence and acknowledgement numbers (bytes).
+    flags:
+        TCP header flags.
+    payload_len:
+        Number of application bytes carried (no actual bytes are stored).
+    options:
+        TCP options (including all MPTCP options) carried by this segment.
+    window:
+        Advertised receive window in bytes.
+    sent_at:
+        Simulated time at which the sender handed the segment to the
+        network; used for RTT sampling and tracing.
+    """
+
+    src: IPAddress
+    dst: IPAddress
+    sport: int
+    dport: int
+    seq: int = 0
+    ack: int = 0
+    flags: TCPFlags = TCPFlags.NONE
+    payload_len: int = 0
+    options: tuple = field(default_factory=tuple)
+    window: int = 65535
+    ttl: int = 64
+    sent_at: Optional[float] = None
+    segment_id: int = field(default_factory=lambda: next(_segment_ids))
+
+    def __post_init__(self) -> None:
+        if self.payload_len < 0:
+            raise ValueError(f"payload_len cannot be negative: {self.payload_len!r}")
+        if not isinstance(self.options, tuple):
+            self.options = tuple(self.options)
+
+    # ------------------------------------------------------------------
+    # flag helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_syn(self) -> bool:
+        """True for SYN segments (including SYN+ACK)."""
+        return bool(self.flags & TCPFlags.SYN)
+
+    @property
+    def is_ack(self) -> bool:
+        """True when the ACK flag is set."""
+        return bool(self.flags & TCPFlags.ACK)
+
+    @property
+    def is_fin(self) -> bool:
+        """True when the FIN flag is set."""
+        return bool(self.flags & TCPFlags.FIN)
+
+    @property
+    def is_rst(self) -> bool:
+        """True when the RST flag is set."""
+        return bool(self.flags & TCPFlags.RST)
+
+    @property
+    def is_pure_ack(self) -> bool:
+        """True for segments that carry no data and no control flags."""
+        return (
+            self.is_ack
+            and self.payload_len == 0
+            and not (self.flags & (TCPFlags.SYN | TCPFlags.FIN | TCPFlags.RST))
+        )
+
+    # ------------------------------------------------------------------
+    # option helpers
+    # ------------------------------------------------------------------
+    def find_option(self, option_type: Type[OptionT]) -> Optional[OptionT]:
+        """Return the first option of the given class, or ``None``."""
+        for option in self.options:
+            if isinstance(option, option_type):
+                return option
+        return None
+
+    def has_option(self, option_type: type) -> bool:
+        """True when an option of the given class is present."""
+        return self.find_option(option_type) is not None
+
+    def with_options(self, options: Iterable) -> "Segment":
+        """Return a copy carrying the given options."""
+        return replace(self, options=tuple(options))
+
+    # ------------------------------------------------------------------
+    # size / identification
+    # ------------------------------------------------------------------
+    @property
+    def four_tuple(self) -> FourTuple:
+        """The four-tuple of this segment, in the direction it travels."""
+        return FourTuple(self.src, self.sport, self.dst, self.dport)
+
+    @property
+    def option_bytes(self) -> int:
+        """Total wire size of the carried options."""
+        return sum(getattr(option, "wire_length", 0) for option in self.options)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-the-wire size charged to links (headers + options + payload)."""
+        return HEADER_BYTES + self.option_bytes + self.payload_len
+
+    @property
+    def end_seq(self) -> int:
+        """Sequence number of the byte just after this segment's payload.
+
+        SYN and FIN each consume one sequence number, like in real TCP.
+        """
+        length = self.payload_len
+        if self.flags & TCPFlags.SYN:
+            length += 1
+        if self.flags & TCPFlags.FIN:
+            length += 1
+        return self.seq + length
+
+    def flag_names(self) -> str:
+        """Compact flag string such as ``"SYN|ACK"`` (used in traces)."""
+        names = [flag.name for flag in (TCPFlags.SYN, TCPFlags.ACK, TCPFlags.FIN, TCPFlags.RST, TCPFlags.PSH) if self.flags & flag]
+        return "|".join(names) if names else "-"
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.flag_names()} {self.src}:{self.sport}>{self.dst}:{self.dport}"
+            f" seq={self.seq} ack={self.ack} len={self.payload_len}]"
+        )

@@ -1,0 +1,106 @@
+"""Packet tracing.
+
+The paper's figures are computed from packet captures (tcpdump on the
+Mininet hosts).  The :class:`PacketTracer` is the reproduction's tcpdump: it
+attaches to one or more links and records every delivered segment together
+with the time and the interfaces involved.  Analysis code (Figure 2a's
+sequence plot, Figure 3's SYN-to-SYN delays) works from these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.net.interface import Interface
+from repro.net.link import Link
+from repro.net.packet import Segment, TCPFlags
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """One captured segment."""
+
+    time: float
+    segment: Segment
+    from_iface: str
+    to_iface: str
+    link: str
+
+
+class PacketTracer:
+    """Records segments delivered on the links it is attached to."""
+
+    def __init__(self, name: str = "trace", keep: Optional[Callable[[Segment], bool]] = None) -> None:
+        self._name = name
+        self._keep = keep
+        self._records: list[PacketRecord] = []
+        self._links: list[Link] = []
+
+    @property
+    def name(self) -> str:
+        """Trace label."""
+        return self._name
+
+    @property
+    def records(self) -> list[PacketRecord]:
+        """All captured records, in capture order (do not mutate)."""
+        return self._records
+
+    def attach(self, link: Link) -> "PacketTracer":
+        """Start capturing deliveries on ``link``.  Returns ``self``."""
+        self._links.append(link)
+        link.add_observer(self._observe)
+        return self
+
+    def attach_all(self, links: Iterable[Link]) -> "PacketTracer":
+        """Attach to several links at once."""
+        for link in links:
+            self.attach(link)
+        return self
+
+    def clear(self) -> None:
+        """Discard all captured records."""
+        self._records.clear()
+
+    def _observe(self, segment: Segment, from_iface: Interface, to_iface: Interface) -> None:
+        if self._keep is not None and not self._keep(segment):
+            return
+        self._records.append(
+            PacketRecord(
+                time=from_iface.node.sim.now,
+                segment=segment,
+                from_iface=from_iface.full_name,
+                to_iface=to_iface.full_name,
+                link=from_iface.link.name if from_iface.link else "?",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # convenience filters used by the experiments
+    # ------------------------------------------------------------------
+    def syn_records(self, with_option: Optional[type] = None) -> list[PacketRecord]:
+        """SYN segments (not SYN+ACK), optionally filtered by an option class."""
+        out = []
+        for record in self._records:
+            seg = record.segment
+            if not seg.is_syn or seg.is_ack:
+                continue
+            if with_option is not None and not seg.has_option(with_option):
+                continue
+            out.append(record)
+        return out
+
+    def data_records(self) -> list[PacketRecord]:
+        """Segments carrying payload bytes."""
+        return [record for record in self._records if record.segment.payload_len > 0]
+
+    def records_with_flag(self, flag: TCPFlags) -> list[PacketRecord]:
+        """Segments with the given TCP flag set."""
+        return [record for record in self._records if record.segment.flags & flag]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PacketTracer {self._name} records={len(self._records)} links={len(self._links)}>"

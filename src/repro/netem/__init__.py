@@ -1,0 +1,25 @@
+"""Mininet-like topology construction and the paper's canned scenarios."""
+
+from repro.netem.topology import Topology
+from repro.netem.scenarios import (
+    DualHomedScenario,
+    EcmpScenario,
+    LanScenario,
+    NattedScenario,
+    build_dual_homed,
+    build_ecmp,
+    build_lan,
+    build_natted,
+)
+
+__all__ = [
+    "Topology",
+    "DualHomedScenario",
+    "EcmpScenario",
+    "LanScenario",
+    "NattedScenario",
+    "build_dual_homed",
+    "build_ecmp",
+    "build_lan",
+    "build_natted",
+]

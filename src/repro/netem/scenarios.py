@@ -1,0 +1,270 @@
+"""The canned topologies used by the paper's experiments.
+
+Each builder returns a small dataclass bundling the topology with the
+objects experiments actually need (hosts, per-path links, addresses), so
+experiment code reads like the Mininet scripts it replaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.addressing import IPAddress
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.net.middlebox import NatFirewall
+from repro.net.router import EcmpGroup, Router
+from repro.netem.topology import Topology
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class DualHomedScenario:
+    """A dual-homed client and a dual-homed server joined by two direct paths.
+
+    This is the smartphone-style topology of §4.2 and §4.3: path 0 plays the
+    role of the primary (e.g. WiFi) interface and path 1 the secondary
+    (e.g. cellular) one.
+    """
+
+    topology: Topology
+    client: Host
+    server: Host
+    path_links: list[Link]
+    client_addresses: list[IPAddress]
+    server_addresses: list[IPAddress]
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulation engine."""
+        return self.topology.sim
+
+
+def build_dual_homed(
+    sim: Simulator,
+    rate_mbps: float = 5.0,
+    delay_ms: float = 10.0,
+    loss_percent: tuple[float, float] = (0.0, 0.0),
+    queue_packets: int = 100,
+) -> DualHomedScenario:
+    """Build the two-path smartphone topology."""
+    topo = Topology(sim, name="dual-homed")
+    client = topo.add_host("client")
+    server = topo.add_host("server")
+    client_addresses = [IPAddress("10.0.0.1"), IPAddress("10.1.0.1")]
+    server_addresses = [IPAddress("10.0.0.2"), IPAddress("10.1.0.2")]
+    links = []
+    for index in range(2):
+        link = topo.add_link(
+            f"path{index}",
+            (client, f"if{index}", client_addresses[index]),
+            (server, f"if{index}", server_addresses[index]),
+            rate_mbps=rate_mbps,
+            delay_ms=delay_ms,
+            loss_percent=loss_percent[index],
+            queue_packets=queue_packets,
+        )
+        links.append(link)
+        server.add_route(client_addresses[index], f"if{index}")
+        client.add_route(server_addresses[index], f"if{index}")
+    return DualHomedScenario(topo, client, server, links, client_addresses, server_addresses)
+
+
+@dataclass
+class EcmpScenario:
+    """Single-homed client and server behind routers that ECMP over N paths.
+
+    This is the §4.4 topology: the routers hash the four-tuple of every
+    subflow onto one of the parallel paths.
+    """
+
+    topology: Topology
+    client: Host
+    server: Host
+    client_address: IPAddress
+    server_address: IPAddress
+    path_links: list[Link]
+    left_router: Router
+    right_router: Router
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulation engine."""
+        return self.topology.sim
+
+
+def build_ecmp(
+    sim: Simulator,
+    path_count: int = 4,
+    path_rate_mbps: float = 8.0,
+    path_delays_ms: tuple[float, ...] = (10.0, 20.0, 30.0, 40.0),
+    access_rate_mbps: float = 1000.0,
+    access_delay_ms: float = 0.1,
+    queue_packets: int = 100,
+) -> EcmpScenario:
+    """Build the ECMP load-balancing topology of §4.4."""
+    if len(path_delays_ms) < path_count:
+        raise ValueError("need one delay per path")
+    topo = Topology(sim, name="ecmp")
+    client = topo.add_host("client")
+    server = topo.add_host("server")
+    left = topo.add_router("r1")
+    right = topo.add_router("r2")
+    client_address = IPAddress("10.0.0.1")
+    server_address = IPAddress("10.9.0.1")
+
+    topo.add_link(
+        "client-access",
+        (client, "eth0", client_address),
+        (left, "to-client", "10.0.0.254"),
+        rate_mbps=access_rate_mbps,
+        delay_ms=access_delay_ms,
+        queue_packets=queue_packets,
+    )
+    topo.add_link(
+        "server-access",
+        (server, "eth0", server_address),
+        (right, "to-server", "10.9.0.254"),
+        rate_mbps=access_rate_mbps,
+        delay_ms=access_delay_ms,
+        queue_packets=queue_packets,
+    )
+
+    path_links = []
+    left_ports = []
+    right_ports = []
+    for index in range(path_count):
+        left_name = f"path{index}-left"
+        right_name = f"path{index}-right"
+        link = topo.add_link(
+            f"path{index}",
+            (left, left_name, f"10.{10 + index}.0.1"),
+            (right, right_name, f"10.{10 + index}.0.2"),
+            rate_mbps=path_rate_mbps,
+            delay_ms=path_delays_ms[index],
+            queue_packets=queue_packets,
+        )
+        path_links.append(link)
+        left_ports.append(left_name)
+        right_ports.append(right_name)
+
+    left.add_route(client_address, "to-client")
+    left.add_route(server_address, EcmpGroup(left_ports))
+    right.add_route(server_address, "to-server")
+    right.add_route(client_address, EcmpGroup(right_ports))
+    return EcmpScenario(
+        topo, client, server, client_address, server_address, path_links, left, right
+    )
+
+
+@dataclass
+class LanScenario:
+    """Two hosts on a direct gigabit link (the §4.5 lab measurement)."""
+
+    topology: Topology
+    client: Host
+    server: Host
+    client_address: IPAddress
+    server_address: IPAddress
+    link: Link
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulation engine."""
+        return self.topology.sim
+
+
+def build_lan(
+    sim: Simulator,
+    rate_mbps: float = 1000.0,
+    delay_ms: float = 0.05,
+    queue_packets: int = 1000,
+) -> LanScenario:
+    """Build the direct-link lab topology of §4.5."""
+    topo = Topology(sim, name="lan")
+    client = topo.add_host("client")
+    server = topo.add_host("server")
+    client_address = IPAddress("192.168.1.1")
+    server_address = IPAddress("192.168.1.2")
+    link = topo.add_link(
+        "lan",
+        (client, "eth0", client_address),
+        (server, "eth0", server_address),
+        rate_mbps=rate_mbps,
+        delay_ms=delay_ms,
+        queue_packets=queue_packets,
+    )
+    return LanScenario(topo, client, server, client_address, server_address, link)
+
+
+@dataclass
+class NattedScenario:
+    """Dual-homed client where the primary path crosses a stateful NAT.
+
+    This is the §4.1 setting: the NAT drops the state of idle flows after a
+    (configurable, aggressive) timeout, silently killing idle subflows.
+    """
+
+    topology: Topology
+    client: Host
+    server: Host
+    nat: NatFirewall
+    path_links: list[Link]
+    client_addresses: list[IPAddress]
+    server_addresses: list[IPAddress]
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulation engine."""
+        return self.topology.sim
+
+
+def build_natted(
+    sim: Simulator,
+    nat_idle_timeout: float = 60.0,
+    nat_sends_rst: bool = False,
+    rate_mbps: float = 10.0,
+    delay_ms: float = 10.0,
+    direct_delay_ms: float = 30.0,
+) -> NattedScenario:
+    """Build the NAT-on-the-primary-path topology of §4.1."""
+    topo = Topology(sim, name="natted")
+    client = topo.add_host("client")
+    server = topo.add_host("server")
+    nat = topo.add_nat("nat", idle_timeout=nat_idle_timeout, send_rst=nat_sends_rst)
+    nat.attach("10.0.0.254", "10.0.1.254")
+
+    client_addresses = [IPAddress("10.0.0.1"), IPAddress("10.1.0.1")]
+    server_addresses = [IPAddress("10.0.1.2"), IPAddress("10.1.0.2")]
+
+    links = [
+        topo.add_link(
+            "client-nat",
+            (client, "if0", client_addresses[0]),
+            nat.interface(NatFirewall.INSIDE),
+            rate_mbps=rate_mbps,
+            delay_ms=delay_ms / 2,
+        ),
+        topo.add_link(
+            "nat-server",
+            nat.interface(NatFirewall.OUTSIDE),
+            (server, "if0", server_addresses[0]),
+            rate_mbps=rate_mbps,
+            delay_ms=delay_ms / 2,
+        ),
+        topo.add_link(
+            "direct",
+            (client, "if1", client_addresses[1]),
+            (server, "if1", server_addresses[1]),
+            rate_mbps=rate_mbps,
+            # The backup path is slower (higher RTT) so that the scheduler
+            # prefers the NAT path, which is what makes the §4.1 failure /
+            # repair cycle observable.
+            delay_ms=direct_delay_ms,
+        ),
+    ]
+    client.add_route(server_addresses[0], "if0")
+    client.add_route(server_addresses[1], "if1")
+    server.add_route(client_addresses[0], "if0")
+    server.add_route(client_addresses[1], "if1")
+    return NattedScenario(topo, client, server, nat, links, client_addresses, server_addresses)

@@ -1,0 +1,32 @@
+"""Discrete-event simulation engine.
+
+This package is the bottom layer of the reproduction: a deterministic,
+seeded, callback-based event loop on which every other subsystem (links,
+TCP timers, the Netlink channel, subflow controllers, applications) is
+scheduled.  Nothing in the repository uses wall-clock time or threads.
+"""
+
+from repro.sim.engine import ScheduledEvent, Simulator, SimulationError
+from repro.sim.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    NormalLatency,
+    ShiftedLatency,
+)
+from repro.sim.randomness import RandomSource
+from repro.sim.timers import PeriodicTimer, Timer
+
+__all__ = [
+    "Simulator",
+    "ScheduledEvent",
+    "SimulationError",
+    "Timer",
+    "PeriodicTimer",
+    "RandomSource",
+    "LatencyModel",
+    "ConstantLatency",
+    "NormalLatency",
+    "LogNormalLatency",
+    "ShiftedLatency",
+]

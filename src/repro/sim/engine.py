@@ -1,0 +1,222 @@
+"""The discrete-event simulator core.
+
+The :class:`Simulator` owns a priority queue of scheduled callbacks keyed by
+simulated time.  Every component of the reproduction (links, TCP sockets,
+the Netlink channel, controllers, applications) registers callbacks on the
+same loop, which makes whole experiments deterministic for a given seed.
+
+Design choices
+--------------
+* Callbacks, not coroutines.  The networking code is naturally event driven
+  (a segment arrives, a timer fires); modelling it with plain callables keeps
+  the control flow explicit and easy to unit test.
+* Cancellation by invalidation.  ``heapq`` has no efficient removal, so a
+  cancelled :class:`ScheduledEvent` is flagged and skipped when popped.
+* Stable ordering.  Events scheduled for the same instant run in the order
+  they were scheduled (a monotonically increasing sequence number breaks
+  ties), which removes a whole class of flaky behaviours.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, Optional
+
+from repro.sim.randomness import RandomSource
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation engine."""
+
+
+class ScheduledEvent:
+    """A handle for a callback scheduled on the simulator.
+
+    The handle can be used to cancel the callback before it runs and to
+    inspect whether it already ran.  Instances are created by
+    :meth:`Simulator.schedule` and :meth:`Simulator.schedule_at`; they are
+    not meant to be constructed directly.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "kwargs", "_cancelled", "_executed")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self._cancelled = False
+        self._executed = False
+
+    @property
+    def cancelled(self) -> bool:
+        """True when the event was cancelled before execution."""
+        return self._cancelled
+
+    @property
+    def executed(self) -> bool:
+        """True when the callback already ran."""
+        return self._executed
+
+    @property
+    def pending(self) -> bool:
+        """True when the event is still waiting to run."""
+        return not (self._cancelled or self._executed)
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.
+
+        Cancelling an event that already ran or was already cancelled is a
+        no-op: the caller only cares that the callback will not run in the
+        future.
+        """
+        if not self._executed:
+            self._cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else ("done" if self._executed else "pending")
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<ScheduledEvent t={self.time:.6f} {name} [{state}]>"
+
+
+class Simulator:
+    """Deterministic discrete-event loop.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulation-wide random source.  Experiments derive
+        every stochastic decision (link losses, ECMP port draws, latency
+        jitter) from this seed, so a run is fully reproducible.
+    start_time:
+        Initial simulated time in seconds.
+    """
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._processed = 0
+        self.random = RandomSource(seed)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return sum(1 for event in self._queue if event.pending)
+
+    @property
+    def processed_events(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._processed
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay!r})")
+        return self.schedule_at(self._now + delay, callback, *args, **kwargs)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> ScheduledEvent:
+        """Schedule ``callback`` to run at the absolute simulated ``time``."""
+        if not callable(callback):
+            raise SimulationError(f"callback must be callable, got {callback!r}")
+        if math.isnan(time) or math.isinf(time):
+            raise SimulationError(f"invalid event time {time!r}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at {time!r}, current time is {self._now!r}"
+            )
+        event = ScheduledEvent(time, next(self._sequence), callback, args, kwargs)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> ScheduledEvent:
+        """Schedule ``callback`` at the current time (after pending same-time events)."""
+        return self.schedule_at(self._now, callback, *args, **kwargs)
+
+    def cancel(self, event: Optional[ScheduledEvent]) -> None:
+        """Cancel a previously scheduled event (``None`` is tolerated)."""
+        if event is not None:
+            event.cancel()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event.
+
+        Returns ``True`` when an event was executed, ``False`` when the
+        queue is empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event._executed = True
+            self._processed += 1
+            event.callback(*event.args, **event.kwargs)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` callbacks have executed.
+
+        Returns the simulated time when the loop stopped.  When ``until`` is
+        given, the clock is advanced to ``until`` even if the queue drained
+        earlier, mirroring how an emulation "waits out" its duration.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run() call)")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event._executed = True
+                self._processed += 1
+                executed += 1
+                event.callback(*event.args, **event.kwargs)
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        """Run until no events remain, guarding against runaway loops."""
+        return self.run(max_events=max_events)

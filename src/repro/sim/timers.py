@@ -1,0 +1,141 @@
+"""Restartable and periodic timers built on the simulator.
+
+TCP needs a *restartable* retransmission timer (armed, re-armed on every
+ACK, backed off on expiry); controllers need *periodic* timers (the Refresh
+controller of §4.4 polls subflow rates every 2.5 s).  Both are thin wrappers
+around :class:`repro.sim.engine.Simulator` scheduling that take care of the
+book-keeping and cancellation corner cases.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import ScheduledEvent, Simulator
+
+
+class Timer:
+    """A single-shot, restartable timer.
+
+    The callback receives no arguments; capture context in a closure or a
+    bound method.  Restarting an armed timer cancels the previous deadline.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any], name: str = "timer") -> None:
+        self._sim = sim
+        self._callback = callback
+        self._name = name
+        self._event: Optional[ScheduledEvent] = None
+        self._expiry: Optional[float] = None
+
+    @property
+    def name(self) -> str:
+        """Human-readable timer name (used in traces and error messages)."""
+        return self._name
+
+    @property
+    def armed(self) -> bool:
+        """True when the timer is currently counting down."""
+        return self._event is not None and self._event.pending
+
+    @property
+    def expiry(self) -> Optional[float]:
+        """Absolute simulated time of the pending expiry, if armed."""
+        return self._expiry if self.armed else None
+
+    @property
+    def remaining(self) -> Optional[float]:
+        """Seconds until expiry, if armed."""
+        if not self.armed or self._expiry is None:
+            return None
+        return max(0.0, self._expiry - self._sim.now)
+
+    def start(self, delay: float) -> None:
+        """Arm (or re-arm) the timer to fire ``delay`` seconds from now."""
+        self.stop()
+        self._expiry = self._sim.now + delay
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        """Disarm the timer if it is armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        self._expiry = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._expiry = None
+        self._callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"expires at {self._expiry:.6f}" if self.armed else "idle"
+        return f"<Timer {self._name} {state}>"
+
+
+class PeriodicTimer:
+    """A timer that re-arms itself after every expiry until stopped.
+
+    The first tick happens ``interval`` seconds after :meth:`start` (or after
+    ``initial_delay`` when given).  The callback may call :meth:`stop` to end
+    the series.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], Any],
+        name: str = "periodic",
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"periodic timer interval must be positive, got {interval!r}")
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._name = name
+        self._event: Optional[ScheduledEvent] = None
+        self._running = False
+        self._ticks = 0
+
+    @property
+    def interval(self) -> float:
+        """Seconds between ticks."""
+        return self._interval
+
+    @property
+    def running(self) -> bool:
+        """True while the timer keeps re-arming itself."""
+        return self._running
+
+    @property
+    def ticks(self) -> int:
+        """Number of times the callback fired."""
+        return self._ticks
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Begin the periodic series."""
+        if self._running:
+            return
+        self._running = True
+        delay = self._interval if initial_delay is None else initial_delay
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        """Stop the series; a pending tick is cancelled."""
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self._ticks += 1
+        self._callback()
+        if self._running:
+            self._event = self._sim.schedule(self._interval, self._fire)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self._running else "stopped"
+        return f"<PeriodicTimer {self._name} every {self._interval}s [{state}] ticks={self._ticks}>"

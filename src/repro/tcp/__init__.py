@@ -1,0 +1,36 @@
+"""Per-subflow TCP.
+
+Every MPTCP subflow is a TCP connection.  This package implements the TCP
+machinery the paper's experiments depend on: the three-way handshake,
+cumulative acknowledgements, fast retransmit, RTO estimation with
+exponential backoff (and the Linux cap of 15 doublings after which the
+subflow is killed), congestion control (NewReno-style and the coupled LIA
+used by MPTCP), pacing-rate estimation and a ``TCP_INFO``-style snapshot
+that the Netlink path manager exposes to userspace controllers.
+"""
+
+from repro.tcp.config import TcpConfig
+from repro.tcp.congestion import (
+    CongestionControl,
+    CouplingGroup,
+    LiaCongestionControl,
+    RenoCongestionControl,
+    make_congestion_control,
+)
+from repro.tcp.info import TcpInfo
+from repro.tcp.rtt import RttEstimator
+from repro.tcp.socket import SubflowObserver, TcpSocket, TcpState
+
+__all__ = [
+    "TcpConfig",
+    "TcpSocket",
+    "TcpState",
+    "SubflowObserver",
+    "TcpInfo",
+    "RttEstimator",
+    "CongestionControl",
+    "RenoCongestionControl",
+    "LiaCongestionControl",
+    "CouplingGroup",
+    "make_congestion_control",
+]

@@ -1,0 +1,176 @@
+"""Sender retransmission queue and receiver reassembly tracking.
+
+These helpers keep :mod:`repro.tcp.socket` readable: the socket deals with
+the protocol state machine while the byte-range bookkeeping lives here.
+Both structures work on (sequence, length) ranges — no payload bytes are
+stored anywhere in the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass
+class SentSegment:
+    """One segment sitting in the retransmission queue."""
+
+    seq: int
+    length: int
+    metadata: Any
+    first_sent_at: float
+    last_sent_at: float
+    retransmitted: bool = False
+    transmissions: int = 1
+    sacked: bool = False
+    lost: bool = False
+
+    @property
+    def end_seq(self) -> int:
+        """Sequence number one past the last byte of this segment."""
+        return self.seq + self.length
+
+
+class RetransmissionQueue:
+    """Ordered queue of sent-but-unacknowledged segments."""
+
+    def __init__(self) -> None:
+        self._segments: list[SentSegment] = []
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __bool__(self) -> bool:
+        return bool(self._segments)
+
+    @property
+    def segments(self) -> list[SentSegment]:
+        """The queued segments in sequence order (do not mutate)."""
+        return self._segments
+
+    def push(self, segment: SentSegment) -> None:
+        """Append a newly transmitted segment (sequence order is maintained
+        because new data is always sent at ``snd_nxt``)."""
+        self._segments.append(segment)
+
+    def head(self) -> Optional[SentSegment]:
+        """The oldest unacknowledged segment, if any."""
+        return self._segments[0] if self._segments else None
+
+    def ack_upto(self, ack: int) -> list[SentSegment]:
+        """Remove and return every segment fully covered by ``ack``."""
+        acked: list[SentSegment] = []
+        while self._segments and self._segments[0].end_seq <= ack:
+            acked.append(self._segments.pop(0))
+        return acked
+
+    def outstanding_bytes(self) -> int:
+        """Total unacknowledged payload bytes."""
+        return sum(segment.length for segment in self._segments)
+
+    def metadata_items(self) -> list[Any]:
+        """Metadata of every outstanding segment (used for MPTCP reinjection)."""
+        return [segment.metadata for segment in self._segments if segment.metadata is not None]
+
+    def clear(self) -> list[SentSegment]:
+        """Drop everything (connection aborted); returns what was pending."""
+        pending = self._segments
+        self._segments = []
+        return pending
+
+
+@dataclass
+class _Range:
+    start: int
+    end: int
+    stamp: int = 0
+
+
+class ReceiveReassembly:
+    """Tracks the receiver's cumulative sequence progress.
+
+    ``register`` accepts possibly out-of-order, possibly overlapping
+    (retransmitted) ranges and advances ``rcv_nxt`` over any contiguous
+    prefix.  The number of *new* bytes covered is returned so callers can
+    keep byte counters without double counting duplicates.
+    """
+
+    def __init__(self, initial_seq: int = 0) -> None:
+        self._rcv_nxt = initial_seq
+        self._out_of_order: list[_Range] = []
+        self._duplicate_bytes = 0
+        self._stamp = 0
+
+    @property
+    def rcv_nxt(self) -> int:
+        """Next expected in-order sequence number."""
+        return self._rcv_nxt
+
+    @property
+    def out_of_order_ranges(self) -> list[tuple[int, int]]:
+        """Currently buffered out-of-order ranges as (start, end) tuples."""
+        return [(r.start, r.end) for r in self._out_of_order]
+
+    def sack_blocks(self, limit: int = 4) -> list[tuple[int, int]]:
+        """Out-of-order ranges ordered most-recently-updated first (RFC 2018).
+
+        Reporting the most recently received block first matters: it is what
+        lets the sender learn about *every* hole within a round trip even
+        though each ACK only carries a handful of blocks.
+        """
+        ordered = sorted(self._out_of_order, key=lambda r: r.stamp, reverse=True)
+        return [(r.start, r.end) for r in ordered[:limit]]
+
+    @property
+    def duplicate_bytes(self) -> int:
+        """Bytes received more than once (retransmissions/spurious)."""
+        return self._duplicate_bytes
+
+    def register(self, seq: int, length: int) -> int:
+        """Record a received range; returns the number of new bytes."""
+        if length < 0:
+            raise ValueError(f"length cannot be negative: {length!r}")
+        if length == 0:
+            return 0
+        start, end = seq, seq + length
+        if end <= self._rcv_nxt:
+            self._duplicate_bytes += length
+            return 0
+        if start < self._rcv_nxt:
+            self._duplicate_bytes += self._rcv_nxt - start
+            start = self._rcv_nxt
+        new_bytes = self._insert(start, end)
+        self._advance()
+        return new_bytes
+
+    def _insert(self, start: int, end: int) -> int:
+        """Merge [start, end) into the out-of-order list, returning new bytes."""
+        new_bytes = end - start
+        merged: list[_Range] = []
+        for existing in self._out_of_order:
+            if existing.end < start or existing.start > end:
+                merged.append(existing)
+                continue
+            overlap = min(end, existing.end) - max(start, existing.start)
+            if overlap > 0:
+                self._duplicate_bytes += overlap
+                new_bytes -= overlap
+            start = min(start, existing.start)
+            end = max(end, existing.end)
+        self._stamp += 1
+        merged.append(_Range(start, end, stamp=self._stamp))
+        merged.sort(key=lambda r: r.start)
+        self._out_of_order = merged
+        return max(new_bytes, 0)
+
+    def _advance(self) -> None:
+        while self._out_of_order and self._out_of_order[0].start <= self._rcv_nxt:
+            head = self._out_of_order[0]
+            if head.end > self._rcv_nxt:
+                self._rcv_nxt = head.end
+            self._out_of_order.pop(0)
+
+    def missing_before(self, seq: int) -> bool:
+        """True when there is a gap between ``rcv_nxt`` and ``seq``."""
+        return seq > self._rcv_nxt

@@ -1,0 +1,34 @@
+"""Shared pytest fixtures.
+
+The repository is importable either through ``pip install -e .`` or, when
+editable installs are unavailable, by putting ``src`` on ``sys.path`` here.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.sim import Simulator  # noqa: E402  (import after path setup)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def make_sim():
+    """Factory fixture for simulators with explicit seeds."""
+
+    def factory(seed: int = 42) -> Simulator:
+        return Simulator(seed=seed)
+
+    return factory

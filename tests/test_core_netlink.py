@@ -1,0 +1,199 @@
+"""Tests for the Netlink codec, channel, kernel PM and userspace library."""
+
+import pytest
+
+from repro.core import codec
+from repro.core.commands import (
+    CreateSubflowCommand,
+    GetConnInfoCommand,
+    GetSubflowInfoCommand,
+    ListSubflowsCommand,
+    CommandReply,
+    RemoveSubflowCommand,
+    ReplyStatus,
+    SetBackupCommand,
+)
+from repro.core.events import (
+    AddAddrEvent,
+    ConnClosedEvent,
+    ConnCreatedEvent,
+    ConnEstablishedEvent,
+    DelLocalAddrEvent,
+    EventType,
+    NewLocalAddrEvent,
+    RemAddrEvent,
+    SubflowClosedEvent,
+    SubflowEstablishedEvent,
+    TimeoutEvent,
+)
+from repro.core.library import PathManagerLibrary
+from repro.core.netlink import NetlinkChannel
+from repro.net.addressing import FourTuple, ip
+from repro.sim.latency import ConstantLatency
+
+TUPLE = FourTuple(ip("10.0.0.1"), 41000, ip("10.0.0.2"), 80)
+
+EVENTS = [
+    ConnCreatedEvent(1.5, 0xAABB, TUPLE, 1, True),
+    ConnEstablishedEvent(1.6, 0xAABB, TUPLE),
+    ConnClosedEvent(9.0, 0xAABB),
+    SubflowEstablishedEvent(2.0, 0xAABB, 2, TUPLE, True),
+    SubflowClosedEvent(3.0, 0xAABB, 2, TUPLE, 110),
+    TimeoutEvent(4.0, 0xAABB, 1, 1.6, 3),
+    AddAddrEvent(5.0, 0xAABB, 2, ip("10.1.0.2"), 8080),
+    RemAddrEvent(6.0, 0xAABB, 2),
+    NewLocalAddrEvent(7.0, ip("10.1.0.1"), "cell0"),
+    DelLocalAddrEvent(8.0, ip("10.1.0.1"), "cell0"),
+]
+
+COMMANDS = [
+    CreateSubflowCommand(1, 0xAABB, ip("10.1.0.1"), 0, ip("10.1.0.2"), 80, True),
+    CreateSubflowCommand(2, 0xAABB, ip("10.1.0.1")),
+    RemoveSubflowCommand(3, 0xAABB, 4, False),
+    GetConnInfoCommand(4, 0xAABB),
+    GetSubflowInfoCommand(5, 0xAABB, 7),
+    ListSubflowsCommand(6, 0xAABB),
+    SetBackupCommand(7, 0xAABB, 2, True),
+]
+
+
+class TestCodec:
+    @pytest.mark.parametrize("event", EVENTS, ids=lambda e: type(e).__name__)
+    def test_event_roundtrip(self, event):
+        decoded = codec.decode_event(codec.encode_event(event))
+        assert decoded == event
+        assert decoded.event_type == event.event_type
+
+    @pytest.mark.parametrize("command", COMMANDS, ids=lambda c: f"{type(c).__name__}-{c.request_id}")
+    def test_command_roundtrip(self, command):
+        decoded = codec.decode_command(codec.encode_command(command))
+        assert decoded == command
+
+    def test_reply_roundtrip_with_nested_payload(self):
+        reply = CommandReply(
+            9,
+            ReplyStatus.OK,
+            {
+                "rto": 0.204,
+                "snd_una": 123456,
+                "state": "ESTABLISHED",
+                "backup": True,
+                "nothing": None,
+                "subflows": [{"subflow_id": 1, "pacing_rate": 1.25e6}, {"subflow_id": 2, "pacing_rate": 2.5e5}],
+            },
+        )
+        decoded = codec.decode_reply(codec.encode_reply(reply))
+        assert decoded.request_id == 9
+        assert decoded.ok
+        assert decoded.payload["snd_una"] == 123456
+        assert decoded.payload["state"] == "ESTABLISHED"
+        assert decoded.payload["backup"] is True
+        assert decoded.payload["nothing"] is None
+        assert decoded.payload["subflows"][1]["subflow_id"] == 2
+
+    def test_message_kind(self):
+        assert codec.message_kind(codec.encode_event(EVENTS[0])) == codec.KIND_EVENT
+        assert codec.message_kind(codec.encode_command(COMMANDS[0])) == codec.KIND_COMMAND
+        assert codec.message_kind(codec.encode_reply(CommandReply(1, ReplyStatus.OK))) == codec.KIND_REPLY
+
+    def test_kind_mismatch_rejected(self):
+        event_bytes = codec.encode_event(EVENTS[0])
+        with pytest.raises(codec.CodecError):
+            codec.decode_command(event_bytes)
+        with pytest.raises(codec.CodecError):
+            codec.decode_reply(event_bytes)
+
+    def test_short_message_rejected(self):
+        with pytest.raises(codec.CodecError):
+            codec.message_kind(b"\x01")
+
+
+class TestNetlinkChannel:
+    def test_messages_delivered_with_latency(self, sim):
+        channel = NetlinkChannel(sim, ConstantLatency(10e-6), ConstantLatency(10e-6))
+        received = []
+        channel.bind_user(lambda msg: received.append((sim.now, msg)))
+        channel.send_to_user(b"hello")
+        sim.run()
+        assert received[0][1] == b"hello"
+        assert received[0][0] == pytest.approx(10e-6)
+
+    def test_fifo_order_preserved(self, sim):
+        channel = NetlinkChannel(sim, name="fifo")
+        received = []
+        channel.bind_user(received.append)
+        for index in range(50):
+            channel.send_to_user(bytes([index]))
+        sim.run()
+        assert received == [bytes([index]) for index in range(50)]
+
+    def test_both_directions_and_counters(self, sim):
+        channel = NetlinkChannel(sim)
+        to_kernel, to_user = [], []
+        channel.bind_kernel(to_kernel.append)
+        channel.bind_user(to_user.append)
+        channel.send_to_kernel(b"cmd")
+        channel.send_to_user(b"event")
+        sim.run()
+        assert to_kernel == [b"cmd"] and to_user == [b"event"]
+        assert channel.messages_to_kernel == 1
+        assert channel.messages_to_user == 1
+        assert channel.bytes_to_user == 5
+
+    def test_unbound_side_drops_silently(self, sim):
+        channel = NetlinkChannel(sim)
+        channel.send_to_user(b"nobody")
+        sim.run()
+
+
+class TestLibraryDispatch:
+    def build(self, sim):
+        channel = NetlinkChannel(sim, ConstantLatency(1e-6), ConstantLatency(1e-6))
+        library = PathManagerLibrary(channel, processing_latency=ConstantLatency(1e-6))
+        return channel, library
+
+    def test_registered_callback_receives_event(self, sim):
+        channel, library = self.build(sim)
+        seen = []
+        library.register(EventType.TIMEOUT, seen.append)
+        channel.send_to_user(codec.encode_event(TimeoutEvent(1.0, 5, 1, 0.4, 2)))
+        sim.run()
+        assert len(seen) == 1 and seen[0].rto == pytest.approx(0.4)
+
+    def test_unregistered_events_counted_as_ignored(self, sim):
+        channel, library = self.build(sim)
+        channel.send_to_user(codec.encode_event(ConnClosedEvent(1.0, 5)))
+        sim.run()
+        assert library.events_ignored == 1
+
+    def test_register_all_and_unregister(self, sim):
+        channel, library = self.build(sim)
+        seen = []
+        library.register_all(seen.append)
+        library.unregister(EventType.CONN_CLOSED, seen.append)
+        channel.send_to_user(codec.encode_event(ConnClosedEvent(1.0, 5)))
+        channel.send_to_user(codec.encode_event(TimeoutEvent(1.0, 5, 1, 0.4, 2)))
+        sim.run()
+        assert len(seen) == 1
+
+    def test_command_reply_correlation(self, sim):
+        channel, library = self.build(sim)
+        # Fake kernel: answer every command with an OK reply echoing the id.
+        def kernel(message):
+            command = codec.decode_command(message)
+            channel.send_to_user(codec.encode_reply(CommandReply(command.request_id, ReplyStatus.OK, {"echo": 1})))
+
+        channel.bind_kernel(kernel)
+        replies = []
+        library.create_subflow(5, "10.0.0.1", on_reply=replies.append)
+        library.get_conn_info(5, replies.append)
+        sim.run()
+        assert len(replies) == 2
+        assert all(reply.ok for reply in replies)
+        assert library.commands_sent == 2
+        assert library.replies_received == 2
+
+    def test_request_ids_unique(self, sim):
+        channel, library = self.build(sim)
+        ids = {library.next_request_id() for _ in range(100)}
+        assert len(ids) == 100

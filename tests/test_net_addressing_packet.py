@@ -1,0 +1,138 @@
+"""Tests for addresses, four-tuples and segments."""
+
+import pytest
+
+from repro.net.addressing import FourTuple, IPAddress, ip
+from repro.net.packet import HEADER_BYTES, Segment, TCPFlags
+from repro.mptcp.options import DssOption, MpCapableOption
+
+
+class TestIPAddress:
+    def test_parse_and_str_roundtrip(self):
+        assert str(IPAddress("10.1.2.3")) == "10.1.2.3"
+
+    def test_int_roundtrip(self):
+        addr = IPAddress("192.168.0.1")
+        assert IPAddress(addr.value) == addr
+
+    def test_copy_constructor(self):
+        addr = IPAddress("10.0.0.1")
+        assert IPAddress(addr) == addr
+
+    def test_packed_roundtrip(self):
+        addr = IPAddress("172.16.5.9")
+        assert IPAddress.from_packed(addr.packed()) == addr
+
+    def test_invalid_strings_rejected(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", ""):
+            with pytest.raises(ValueError):
+                IPAddress(bad)
+
+    def test_invalid_int_rejected(self):
+        with pytest.raises(ValueError):
+            IPAddress(1 << 32)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            IPAddress(1.5)
+
+    def test_equality_with_string(self):
+        assert IPAddress("10.0.0.1") == "10.0.0.1"
+        assert IPAddress("10.0.0.1") != "10.0.0.2"
+
+    def test_ordering(self):
+        assert IPAddress("10.0.0.1") < IPAddress("10.0.0.2")
+
+    def test_hashable(self):
+        assert len({IPAddress("10.0.0.1"), IPAddress("10.0.0.1")}) == 1
+
+    def test_same_subnet(self):
+        assert IPAddress("10.0.0.1").same_subnet(IPAddress("10.0.0.200"), 24)
+        assert not IPAddress("10.0.0.1").same_subnet(IPAddress("10.0.1.1"), 24)
+        assert IPAddress("10.0.0.1").same_subnet(IPAddress("192.0.0.1"), 0)
+
+    def test_ip_helper(self):
+        assert ip("10.0.0.1") == IPAddress("10.0.0.1")
+
+
+class TestFourTuple:
+    def test_reversed(self):
+        tup = FourTuple(ip("10.0.0.1"), 1000, ip("10.0.0.2"), 80)
+        rev = tup.reversed()
+        assert rev.src == tup.dst and rev.dport == tup.sport
+
+    def test_packed_roundtrip(self):
+        tup = FourTuple(ip("10.0.0.1"), 1000, ip("10.0.0.2"), 80)
+        assert FourTuple.from_packed(tup.packed()) == tup
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(ValueError):
+            FourTuple(ip("10.0.0.1"), 70000, ip("10.0.0.2"), 80)
+
+    def test_ecmp_key_direction_independent(self):
+        tup = FourTuple(ip("10.0.0.1"), 1000, ip("10.0.0.2"), 80)
+        assert tup.ecmp_key() == tup.reversed().ecmp_key()
+
+    def test_ecmp_key_differs_per_flow(self):
+        a = FourTuple(ip("10.0.0.1"), 1000, ip("10.0.0.2"), 80)
+        b = FourTuple(ip("10.0.0.1"), 1001, ip("10.0.0.2"), 80)
+        assert a.ecmp_key() != b.ecmp_key()
+
+    def test_str_format(self):
+        tup = FourTuple(ip("10.0.0.1"), 1000, ip("10.0.0.2"), 80)
+        assert str(tup) == "10.0.0.1:1000->10.0.0.2:80"
+
+
+class TestSegment:
+    def _segment(self, **kwargs):
+        defaults = dict(src=ip("10.0.0.1"), dst=ip("10.0.0.2"), sport=1000, dport=80)
+        defaults.update(kwargs)
+        return Segment(**defaults)
+
+    def test_flag_helpers(self):
+        syn = self._segment(flags=TCPFlags.SYN)
+        assert syn.is_syn and not syn.is_ack and not syn.is_rst and not syn.is_fin
+        synack = self._segment(flags=TCPFlags.SYN | TCPFlags.ACK)
+        assert synack.is_syn and synack.is_ack
+
+    def test_pure_ack_detection(self):
+        assert self._segment(flags=TCPFlags.ACK).is_pure_ack
+        assert not self._segment(flags=TCPFlags.ACK, payload_len=10).is_pure_ack
+        assert not self._segment(flags=TCPFlags.ACK | TCPFlags.FIN).is_pure_ack
+
+    def test_size_includes_headers_and_options(self):
+        plain = self._segment(payload_len=100)
+        assert plain.size_bytes == HEADER_BYTES + 100
+        with_option = self._segment(payload_len=100, options=(MpCapableOption(sender_key=1),))
+        assert with_option.size_bytes == HEADER_BYTES + 100 + 12
+
+    def test_end_seq_counts_syn_and_fin(self):
+        assert self._segment(seq=10, flags=TCPFlags.SYN).end_seq == 11
+        assert self._segment(seq=10, payload_len=5).end_seq == 15
+        assert self._segment(seq=10, payload_len=5, flags=TCPFlags.FIN).end_seq == 16
+
+    def test_find_option(self):
+        dss = DssOption(data_ack=5)
+        segment = self._segment(options=(MpCapableOption(sender_key=1), dss))
+        assert segment.find_option(DssOption) is dss
+        assert segment.has_option(MpCapableOption)
+        assert segment.find_option(type(None)) is None
+
+    def test_with_options_copy(self):
+        segment = self._segment()
+        copy = segment.with_options([DssOption(data_ack=1)])
+        assert copy.has_option(DssOption)
+        assert not segment.has_option(DssOption)
+        assert copy.segment_id != segment.segment_id or copy is not segment
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            self._segment(payload_len=-1)
+
+    def test_four_tuple_property(self):
+        segment = self._segment()
+        assert segment.four_tuple == FourTuple(ip("10.0.0.1"), 1000, ip("10.0.0.2"), 80)
+
+    def test_flag_names(self):
+        assert "SYN" in self._segment(flags=TCPFlags.SYN | TCPFlags.ACK).flag_names()
+        assert self._segment().flag_names() == "-"

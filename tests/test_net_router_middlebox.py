@@ -1,0 +1,198 @@
+"""Tests for ECMP routers and the NAT/firewall middlebox."""
+
+import pytest
+
+from repro.net import EcmpGroup, Host, Link, NatFirewall, Router
+from repro.net.addressing import ip
+from repro.net.packet import Segment, TCPFlags
+from repro.netem.scenarios import build_ecmp, build_natted
+
+
+class SinkStack:
+    def __init__(self):
+        self.segments = []
+
+    def on_segment(self, segment, iface):
+        self.segments.append(segment)
+
+    def on_local_address_up(self, iface):
+        pass
+
+    def on_local_address_down(self, iface):
+        pass
+
+
+class TestEcmpGroup:
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            EcmpGroup([])
+
+    def test_selection_is_deterministic_per_flow(self):
+        group = EcmpGroup(["p0", "p1", "p2", "p3"])
+        segment = Segment(src=ip("10.0.0.1"), dst=ip("10.9.0.1"), sport=1234, dport=80)
+        assert group.select(segment) == group.select(segment)
+
+    def test_both_directions_hash_to_same_path(self):
+        group = EcmpGroup(["p0", "p1", "p2", "p3"])
+        forward = Segment(src=ip("10.0.0.1"), dst=ip("10.9.0.1"), sport=1234, dport=80)
+        backward = Segment(src=ip("10.9.0.1"), dst=ip("10.0.0.1"), sport=80, dport=1234)
+        assert group.path_index(forward) == group.path_index(backward)
+
+    def test_different_ports_spread_over_paths(self):
+        group = EcmpGroup(["p0", "p1", "p2", "p3"])
+        indices = {
+            group.path_index(Segment(src=ip("10.0.0.1"), dst=ip("10.9.0.1"), sport=port, dport=80))
+            for port in range(33000, 33200)
+        }
+        assert len(indices) == 4
+
+
+class TestRouterForwarding:
+    def build(self, sim):
+        client = Host(sim, "client")
+        server = Host(sim, "server")
+        router = Router(sim, "r")
+        Link(sim, name="l0").connect(client.add_interface("eth0", "10.0.0.1"), router.add_interface("c", "10.0.0.254"))
+        Link(sim, name="l1").connect(router.add_interface("s", "10.1.0.254"), server.add_interface("eth0", "10.1.0.1"))
+        router.add_route("10.1.0.1", "s")
+        router.add_route("10.0.0.1", "c")
+        sink = SinkStack()
+        server.install_stack(sink)
+        return client, server, router, sink
+
+    def test_forwarding(self, sim):
+        client, server, router, sink = self.build(sim)
+        client.send(Segment(src=ip("10.0.0.1"), dst=ip("10.1.0.1"), sport=1, dport=2, payload_len=10))
+        sim.run()
+        assert len(sink.segments) == 1
+        assert router.forwarded == 1
+
+    def test_ttl_decrement_and_expiry(self, sim):
+        client, server, router, sink = self.build(sim)
+        client.send(Segment(src=ip("10.0.0.1"), dst=ip("10.1.0.1"), sport=1, dport=2, ttl=1))
+        sim.run()
+        assert sink.segments == []
+        assert router.dropped_ttl == 1
+
+    def test_no_route_drops(self, sim):
+        client, server, router, sink = self.build(sim)
+        client.send(Segment(src=ip("10.0.0.1"), dst=ip("10.99.0.1"), sport=1, dport=2))
+        sim.run()
+        assert router.dropped_no_route == 1
+
+    def test_default_route(self, sim):
+        client, server, router, sink = self.build(sim)
+        router.set_default_route("s")
+        client.send(Segment(src=ip("10.0.0.1"), dst=ip("10.1.0.1"), sport=1, dport=2))
+        sim.run()
+        assert len(sink.segments) == 1
+
+    def test_unknown_interface_in_route_rejected(self, sim):
+        router = Router(sim, "r")
+        with pytest.raises(KeyError):
+            router.add_route("10.0.0.1", "missing")
+
+    def test_down_interface_drops(self, sim):
+        client, server, router, sink = self.build(sim)
+        router.interface("s").set_down()
+        client.send(Segment(src=ip("10.0.0.1"), dst=ip("10.1.0.1"), sport=1, dport=2))
+        sim.run()
+        assert router.dropped_iface_down == 1
+
+
+class TestEcmpScenarioRouting:
+    def test_flows_pinned_and_spread(self, sim):
+        scenario = build_ecmp(sim)
+        sink = SinkStack()
+        scenario.server.install_stack(sink)
+        for port in (33001, 33002, 33003, 33004, 33005, 33006):
+            scenario.client.send(
+                Segment(src=scenario.client_address, dst=scenario.server_address, sport=port, dport=80, payload_len=10)
+            )
+        sim.run()
+        assert len(sink.segments) == 6
+        group = scenario.left_router.lookup(scenario.server_address)
+        indices = {
+            group.path_index(Segment(src=scenario.client_address, dst=scenario.server_address, sport=port, dport=80))
+            for port in (33001, 33002, 33003, 33004, 33005, 33006)
+        }
+        assert len(indices) >= 2
+
+    def test_reverse_path_works(self, sim):
+        scenario = build_ecmp(sim)
+        sink = SinkStack()
+        scenario.client.install_stack(sink)
+        scenario.server.send(
+            Segment(src=scenario.server_address, dst=scenario.client_address, sport=80, dport=33001, payload_len=10)
+        )
+        sim.run()
+        assert len(sink.segments) == 1
+
+
+class TestNatFirewall:
+    def test_inside_initiated_flow_passes(self, sim):
+        scenario = build_natted(sim, nat_idle_timeout=100.0)
+        sink = SinkStack()
+        scenario.server.install_stack(sink)
+        syn = Segment(src=scenario.client_addresses[0], dst=scenario.server_addresses[0], sport=5000, dport=80, flags=TCPFlags.SYN)
+        scenario.client.send(syn)
+        sim.run()
+        assert len(sink.segments) == 1
+        assert scenario.nat.active_flows()
+
+    def test_outside_syn_blocked(self, sim):
+        scenario = build_natted(sim)
+        sink = SinkStack()
+        scenario.client.install_stack(sink)
+        syn = Segment(src=scenario.server_addresses[0], dst=scenario.client_addresses[0], sport=80, dport=5000, flags=TCPFlags.SYN)
+        scenario.server.send(syn)
+        sim.run()
+        assert sink.segments == []
+        assert scenario.nat.dropped_outside_syn == 1
+
+    def test_non_syn_without_state_dropped(self, sim):
+        scenario = build_natted(sim)
+        sink = SinkStack()
+        scenario.server.install_stack(sink)
+        data = Segment(src=scenario.client_addresses[0], dst=scenario.server_addresses[0], sport=5000, dport=80, flags=TCPFlags.ACK, payload_len=10)
+        scenario.client.send(data)
+        sim.run()
+        assert sink.segments == []
+        assert scenario.nat.dropped_no_state == 1
+
+    def test_state_expires_after_idle_timeout(self, sim):
+        scenario = build_natted(sim, nat_idle_timeout=30.0)
+        scenario.server.install_stack(SinkStack())
+        syn = Segment(src=scenario.client_addresses[0], dst=scenario.server_addresses[0], sport=5000, dport=80, flags=TCPFlags.SYN)
+        scenario.client.send(syn)
+        sim.run()
+        assert len(scenario.nat.active_flows()) == 1
+        sim.run(until=sim.now + 61.0)
+        assert scenario.nat.active_flows() == []
+        assert scenario.nat.expired_flows == 1
+
+    def test_rst_mode_resets_unknown_flows(self, sim):
+        scenario = build_natted(sim, nat_sends_rst=True)
+        client_sink = SinkStack()
+        scenario.client.install_stack(client_sink)
+        data = Segment(src=scenario.client_addresses[0], dst=scenario.server_addresses[0], sport=5000, dport=80, flags=TCPFlags.ACK, payload_len=10)
+        scenario.client.send(data)
+        sim.run()
+        assert scenario.nat.resets_sent == 1
+        assert any(segment.is_rst for segment in client_sink.segments)
+
+    def test_invalid_timeout_rejected(self, sim):
+        with pytest.raises(ValueError):
+            NatFirewall(sim, "nat", idle_timeout=0.0)
+
+    def test_traffic_refreshes_state(self, sim):
+        scenario = build_natted(sim, nat_idle_timeout=30.0)
+        scenario.server.install_stack(SinkStack())
+        flow_args = dict(src=scenario.client_addresses[0], dst=scenario.server_addresses[0], sport=5000, dport=80)
+        scenario.client.send(Segment(flags=TCPFlags.SYN, **flow_args))
+        sim.run()
+        for step in range(1, 5):
+            sim.schedule_at(step * 20.0, scenario.client.send, Segment(flags=TCPFlags.ACK, payload_len=1, **flow_args))
+        sim.run(until=95.0)
+        assert len(scenario.nat.active_flows()) == 1
+        assert scenario.nat.expired_flows == 0

@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) for core data structures and codecs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.stats import summarize
+from repro.core import codec
+from repro.core.commands import CommandReply, CreateSubflowCommand, RemoveSubflowCommand, ReplyStatus
+from repro.core.events import SubflowClosedEvent, SubflowEstablishedEvent, TimeoutEvent
+from repro.net.addressing import FourTuple, IPAddress
+from repro.tcp.buffers import ReceiveReassembly
+from repro.tcp.rtt import RttEstimator
+
+addresses = st.integers(min_value=0, max_value=0xFFFFFFFF).map(IPAddress)
+ports = st.integers(min_value=0, max_value=0xFFFF)
+tokens = st.integers(min_value=0, max_value=0xFFFFFFFF)
+four_tuples = st.builds(FourTuple, addresses, ports, addresses, ports)
+
+
+class TestReassemblyProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=400), st.integers(min_value=1, max_value=60)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_rcv_nxt_matches_delivered_prefix(self, chunks):
+        """rcv_nxt always equals the length of the contiguous received prefix,
+        and total new bytes never exceed the distinct bytes offered."""
+        reasm = ReceiveReassembly(0)
+        covered = set()
+        new_total = 0
+        for start, length in chunks:
+            new_total += reasm.register(start, length)
+            covered.update(range(start, start + length))
+        expected_prefix = 0
+        while expected_prefix in covered:
+            expected_prefix += 1
+        assert reasm.rcv_nxt == expected_prefix
+        assert new_total <= len(covered)
+        # Out-of-order ranges never overlap and sit entirely above rcv_nxt.
+        ranges = reasm.out_of_order_ranges
+        for index, (start, end) in enumerate(ranges):
+            assert start < end
+            assert start >= reasm.rcv_nxt
+            if index:
+                assert start >= ranges[index - 1][1]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=300), st.integers(min_value=1, max_value=40)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_duplicate_delivery_never_counted_twice(self, chunks):
+        reasm = ReceiveReassembly(0)
+        for start, length in chunks:
+            reasm.register(start, length)
+        before = reasm.rcv_nxt
+        for start, length in chunks:
+            assert reasm.register(start, length) == 0 or reasm.rcv_nxt > before
+
+
+class TestRttProperties:
+    @given(st.lists(st.floats(min_value=1e-4, max_value=2.0), min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_rto_bounds(self, samples):
+        est = RttEstimator(rto_min=0.2, rto_max=120.0)
+        for sample in samples:
+            est.add_sample(sample)
+        assert 0.2 <= est.rto <= 120.0
+        assert est.srtt is not None
+        assert min(samples) <= est.srtt <= max(samples) + 1e-9
+
+    @given(st.integers(min_value=1, max_value=30))
+    @settings(max_examples=50, deadline=None)
+    def test_backoff_monotone_and_capped(self, timeouts):
+        est = RttEstimator(rto_min=0.2, rto_max=60.0)
+        est.add_sample(0.05)
+        previous = est.rto
+        for _ in range(timeouts):
+            est.on_timeout()
+            assert est.rto >= previous
+            previous = est.rto
+        assert est.rto <= 60.0
+
+
+class TestCodecProperties:
+    @given(st.floats(min_value=0, max_value=1e6), tokens, st.integers(0, 65535), st.floats(0, 120), st.integers(0, 20))
+    @settings(max_examples=100, deadline=None)
+    def test_timeout_event_roundtrip(self, time, token, subflow_id, rto, consecutive):
+        event = TimeoutEvent(time, token, subflow_id, rto, consecutive)
+        assert codec.decode_event(codec.encode_event(event)) == event
+
+    @given(st.floats(min_value=0, max_value=1e6), tokens, st.integers(0, 65535), four_tuples, st.booleans())
+    @settings(max_examples=100, deadline=None)
+    def test_sub_estab_event_roundtrip(self, time, token, subflow_id, tup, backup):
+        event = SubflowEstablishedEvent(time, token, subflow_id, tup, backup)
+        assert codec.decode_event(codec.encode_event(event)) == event
+
+    @given(st.floats(min_value=0, max_value=1e6), tokens, st.integers(0, 65535), four_tuples,
+           st.integers(min_value=-200, max_value=200))
+    @settings(max_examples=100, deadline=None)
+    def test_sub_closed_event_roundtrip(self, time, token, subflow_id, tup, reason):
+        event = SubflowClosedEvent(time, token, subflow_id, tup, reason)
+        assert codec.decode_event(codec.encode_event(event)) == event
+
+    @given(tokens, st.integers(1, 1 << 30), addresses, ports, addresses, ports, st.booleans())
+    @settings(max_examples=100, deadline=None)
+    def test_create_subflow_roundtrip(self, token, request_id, local, lport, remote, rport, backup):
+        command = CreateSubflowCommand(request_id, token, local, lport, remote, rport, backup)
+        assert codec.decode_command(codec.encode_command(command)) == command
+
+    @given(tokens, st.integers(1, 1 << 30), st.integers(0, 65535), st.booleans())
+    @settings(max_examples=100, deadline=None)
+    def test_remove_subflow_roundtrip(self, token, request_id, subflow_id, reset):
+        command = RemoveSubflowCommand(request_id, token, subflow_id, reset)
+        assert codec.decode_command(codec.encode_command(command)) == command
+
+    @given(
+        st.integers(1, 1 << 30),
+        st.dictionaries(
+            st.text(min_size=1, max_size=12),
+            st.one_of(
+                st.integers(min_value=-(1 << 40), max_value=1 << 40),
+                st.floats(allow_nan=False, allow_infinity=False, width=32),
+                st.text(max_size=20),
+                st.booleans(),
+                st.none(),
+            ),
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_reply_payload_roundtrip(self, request_id, payload):
+        reply = CommandReply(request_id, ReplyStatus.OK, payload)
+        decoded = codec.decode_reply(codec.encode_reply(reply))
+        assert decoded.request_id == request_id
+        assert decoded.payload == payload
+
+
+class TestFourTupleProperties:
+    @given(four_tuples)
+    @settings(max_examples=200, deadline=None)
+    def test_packed_roundtrip(self, tup):
+        assert FourTuple.from_packed(tup.packed()) == tup
+
+    @given(four_tuples)
+    @settings(max_examples=200, deadline=None)
+    def test_ecmp_key_symmetric(self, tup):
+        assert tup.ecmp_key() == tup.reversed().ecmp_key()
+
+
+class TestAnalysisProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e5, allow_nan=False), min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_cdf_invariants(self, samples):
+        cdf = Cdf(samples)
+        assert cdf.minimum <= cdf.median <= cdf.maximum
+        assert cdf.probability_below(cdf.maximum) == 1.0
+        assert 0.0 <= cdf.probability_below(cdf.minimum) <= 1.0
+        assert cdf.percentile(0.0) == cdf.minimum
+        assert cdf.percentile(1.0) == cdf.maximum
+        fractions = [point[1] for point in cdf.points()]
+        assert fractions == sorted(fractions)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_summary_invariants(self, samples):
+        stats = summarize(samples)
+        tolerance = 1e-9 * max(1.0, abs(stats.maximum), abs(stats.minimum))
+        assert stats.minimum <= stats.p25 <= stats.median <= stats.p75 <= stats.maximum
+        assert stats.minimum - tolerance <= stats.mean <= stats.maximum + tolerance
+        assert stats.count == len(samples)
+        assert stats.stddev >= 0

@@ -1,0 +1,191 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_initial_time_is_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_custom_start_time(self):
+        sim = Simulator(seed=1, start_time=10.0)
+        assert sim.now == 10.0
+
+    def test_events_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(2.0, order.append, "b")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(3.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_in_schedule_order(self, sim):
+        order = []
+        for label in "abcde":
+            sim.schedule(1.0, order.append, label)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_schedule_at_absolute_time(self, sim):
+        seen = []
+        sim.schedule_at(4.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.0]
+
+    def test_call_soon_runs_at_current_time(self, sim):
+        seen = []
+        sim.schedule(1.0, lambda: sim.call_soon(lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [1.0]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_the_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_non_callable_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(1.0, "not callable")
+
+    def test_nan_time_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_at(float("nan"), lambda: None)
+
+    def test_callback_arguments_forwarded(self, sim):
+        seen = []
+        sim.schedule(1.0, lambda a, b, key=None: seen.append((a, b, key)), 1, 2, key="x")
+        sim.run()
+        assert seen == [(1, 2, "x")]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self, sim):
+        seen = []
+        event = sim.schedule(1.0, seen.append, "x")
+        event.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_via_simulator_helper(self, sim):
+        seen = []
+        event = sim.schedule(1.0, seen.append, "x")
+        sim.cancel(event)
+        sim.run()
+        assert seen == []
+
+    def test_cancel_none_is_noop(self, sim):
+        sim.cancel(None)
+
+    def test_cancel_after_execution_is_noop(self, sim):
+        seen = []
+        event = sim.schedule(1.0, seen.append, "x")
+        sim.run()
+        event.cancel()
+        assert seen == ["x"]
+        assert event.executed
+        assert not event.cancelled
+
+    def test_pending_flag_lifecycle(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        assert event.pending
+        sim.run()
+        assert not event.pending
+        assert event.executed
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, sim):
+        seen = []
+        sim.schedule(1.0, seen.append, "early")
+        sim.schedule(5.0, seen.append, "late")
+        sim.run(until=2.0)
+        assert seen == ["early"]
+        assert sim.now == 2.0
+
+    def test_run_until_then_continue(self, sim):
+        seen = []
+        sim.schedule(1.0, seen.append, "early")
+        sim.schedule(5.0, seen.append, "late")
+        sim.run(until=2.0)
+        sim.run()
+        assert seen == ["early", "late"]
+
+    def test_run_advances_clock_to_until_even_when_idle(self, sim):
+        sim.run(until=30.0)
+        assert sim.now == 30.0
+
+    def test_max_events_limit(self, sim):
+        seen = []
+        for index in range(10):
+            sim.schedule(index + 1.0, seen.append, index)
+        sim.run(max_events=3)
+        assert seen == [0, 1, 2]
+
+    def test_step_executes_one_event(self, sim):
+        seen = []
+        sim.schedule(1.0, seen.append, "a")
+        sim.schedule(2.0, seen.append, "b")
+        assert sim.step() is True
+        assert seen == ["a"]
+
+    def test_step_on_empty_queue_returns_false(self, sim):
+        assert sim.step() is False
+
+    def test_processed_events_counter(self, sim):
+        for index in range(5):
+            sim.schedule(float(index + 1), lambda: None)
+        sim.run()
+        assert sim.processed_events == 5
+
+    def test_pending_events_counter(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+        events[0].cancel()
+        assert sim.pending_events == 3
+
+    def test_events_scheduled_during_run_are_executed(self, sim):
+        seen = []
+
+        def chain(depth):
+            seen.append(depth)
+            if depth < 3:
+                sim.schedule(1.0, chain, depth + 1)
+
+        sim.schedule(1.0, chain, 0)
+        sim.run()
+        assert seen == [0, 1, 2, 3]
+
+    def test_run_until_idle_guard(self, sim):
+        def forever():
+            sim.schedule(0.001, forever)
+
+        sim.schedule(0.001, forever)
+        sim.run_until_idle(max_events=100)
+        assert sim.processed_events == 100
+
+    def test_determinism_across_instances(self):
+        def workload(simulator):
+            values = []
+            for _ in range(50):
+                simulator.schedule(simulator.random.uniform(0, 10), values.append, simulator.random.random())
+            simulator.run()
+            return values
+
+        assert workload(Simulator(seed=5)) == workload(Simulator(seed=5))
+
+    def test_different_seeds_differ(self):
+        a = Simulator(seed=1).random.random()
+        b = Simulator(seed=2).random.random()
+        assert a != b
