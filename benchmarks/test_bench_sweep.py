@@ -1,0 +1,49 @@
+"""Benchmark: sweep-engine throughput, serial vs. parallel workers.
+
+Runs the same multi-scenario campaign serially and on a worker pool and
+prints cells/second for both, plus the campaign report.  The interesting
+number is the parallel speed-up on campaigns whose cells are heavy enough
+to amortise process start-up — exactly the regime real sweeps live in.
+"""
+
+import os
+
+from repro.sweep import CampaignGrid, run_campaign, format_campaign_report
+
+BENCH_GRID = CampaignGrid(
+    name="bench",
+    campaign_seed=17,
+    experiments=["bulk_transfer"],
+    scenarios=["dual_homed", "asymmetric_loss", "path_failure_recovery", "bufferbloat_cellular"],
+    schedulers=["lowest_rtt", "round_robin"],
+    controllers=["passive", "fullmesh"],
+    seeds=2,
+    params={"transfer_bytes": 600_000, "horizon": 30.0},
+)
+
+
+def test_sweep_serial_throughput(benchmark):
+    result = benchmark.pedantic(lambda: run_campaign(BENCH_GRID, workers=1), rounds=1, iterations=1)
+    print()
+    print(format_campaign_report(result))
+    print(f"serial: {result.cell_count} cells in {result.wall_time:.2f}s "
+          f"({result.cell_count / result.wall_time:.1f} cells/s)")
+    assert result.cell_count == 32
+    assert result.metric_values("completion_time")
+
+
+def test_sweep_parallel_throughput(benchmark):
+    # Always exercise the process-pool path; the speed-up only materialises
+    # on multi-core hosts but the byte-identity contract holds everywhere.
+    workers = 4
+    result = benchmark.pedantic(
+        lambda: run_campaign(BENCH_GRID, workers=workers), rounds=1, iterations=1
+    )
+    print()
+    print(f"workers={workers} (cpus={os.cpu_count()}) fallback={result.parallel_fallback}: "
+          f"{result.cell_count} cells in {result.wall_time:.2f}s "
+          f"({result.cell_count / result.wall_time:.1f} cells/s)")
+    assert result.cell_count == 32
+    # Whatever the execution mode, output must match the serial ground truth.
+    serial = run_campaign(BENCH_GRID, workers=1)
+    assert result.to_canonical_json() == serial.to_canonical_json()

@@ -1,5 +1,6 @@
 """Analysis utilities: CDFs, summary statistics, traces and reports."""
 
+from repro.analysis.aggregate import cdfs_by, group_cells, metric_values, summarize_groups
 from repro.analysis.cdf import Cdf
 from repro.analysis.stats import SummaryStats, summarize
 from repro.analysis.trace import SequencePoint, SubflowSequenceTrace, extract_sequence_trace, syn_join_delays
@@ -16,4 +17,8 @@ __all__ = [
     "format_table",
     "format_cdf_table",
     "format_comparison_table",
+    "group_cells",
+    "metric_values",
+    "summarize_groups",
+    "cdfs_by",
 ]

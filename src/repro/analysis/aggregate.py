@@ -1,0 +1,83 @@
+"""Campaign-level aggregation of per-cell sweep metrics.
+
+The sweep engine produces one metrics dict per cell; these helpers group
+cells by any combination of grid axes and reduce a chosen metric into
+:class:`SummaryStats` percentile rows or :class:`Cdf` comparisons, which
+the campaign report then renders with the existing table formatters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.stats import SummaryStats, summarize
+
+#: The grid axes cells can be grouped by.
+GROUP_AXES = ("experiment", "scenario", "scheduler", "controller")
+
+
+def _axis_value(cell, axis: str) -> str:
+    spec = cell.spec if hasattr(cell, "spec") else cell["spec"]
+    if isinstance(spec, Mapping):
+        return str(spec[axis])
+    return str(getattr(spec, axis))
+
+
+def _cell_result(cell) -> Mapping:
+    return cell.result if hasattr(cell, "result") else cell["result"]
+
+
+def group_cells(cells: Iterable, by: Sequence[str]) -> dict[tuple[str, ...], list]:
+    """Group cells by the given axes, preserving cell order inside groups.
+
+    ``cells`` accepts both :class:`~repro.sweep.engine.CellOutcome` objects
+    and the plain ``{"spec": ..., "result": ...}`` dicts of a deserialised
+    campaign.  Group keys follow first-seen order of iteration, which is
+    deterministic because the engine emits cells in grid-expansion order.
+    """
+    for axis in by:
+        if axis not in GROUP_AXES:
+            raise ValueError(f"unknown grouping axis {axis!r} (expected one of {GROUP_AXES})")
+    groups: dict[tuple[str, ...], list] = {}
+    for cell in cells:
+        key = tuple(_axis_value(cell, axis) for axis in by)
+        groups.setdefault(key, []).append(cell)
+    return groups
+
+
+def metric_values(cells: Iterable, metric: str) -> list[float]:
+    """All non-``None`` values of ``metric`` across the cells, in order."""
+    values = []
+    for cell in cells:
+        value = _cell_result(cell).get(metric)
+        if value is not None:
+            values.append(float(value))
+    return values
+
+
+def summarize_groups(
+    cells: Iterable,
+    metric: str,
+    by: Sequence[str],
+) -> dict[tuple[str, ...], Optional[SummaryStats]]:
+    """Percentile summaries of ``metric`` per group (``None`` if no samples)."""
+    summaries: dict[tuple[str, ...], Optional[SummaryStats]] = {}
+    for key, members in group_cells(cells, by).items():
+        values = metric_values(members, metric)
+        summaries[key] = summarize(values) if values else None
+    return summaries
+
+
+def cdfs_by(cells: Iterable, metric: str, by: Sequence[str]) -> dict[str, Cdf]:
+    """One labelled CDF of ``metric`` per group (for cross-scenario plots).
+
+    Groups with no samples are skipped: an empty CDF cannot be evaluated.
+    """
+    cdfs: dict[str, Cdf] = {}
+    for key, members in group_cells(cells, by).items():
+        values = metric_values(members, metric)
+        if values:
+            label = "/".join(key)
+            cdfs[label] = Cdf(values, label=label)
+    return cdfs

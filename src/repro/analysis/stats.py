@@ -44,7 +44,10 @@ def _percentile(sorted_samples: list[float], fraction: float) -> float:
     position = fraction * (len(sorted_samples) - 1)
     lower = math.floor(position)
     upper = math.ceil(position)
-    if lower == upper:
+    if lower == upper or sorted_samples[lower] == sorted_samples[upper]:
+        # The equal-neighbours case must short-circuit: interpolating
+        # between two identical subnormal floats can underflow to a value
+        # below both, breaking the min <= p25 <= ... ordering invariant.
         return sorted_samples[lower]
     weight = position - lower
     return sorted_samples[lower] * (1 - weight) + sorted_samples[upper] * weight

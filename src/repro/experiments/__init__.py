@@ -11,6 +11,7 @@ from repro.experiments.fig2a_backup import Fig2aResult, run_fig2a
 from repro.experiments.fig2b_streaming import Fig2bResult, run_fig2b
 from repro.experiments.fig2c_loadbalance import Fig2cResult, run_fig2c
 from repro.experiments.fig3_pm_delay import Fig3Result, run_fig3
+from repro.experiments.grids import default_grid, figure_campaigns, full_grid, named_grid, quick_grid
 from repro.experiments.longlived import LongLivedResult, run_longlived
 
 __all__ = [
@@ -24,4 +25,9 @@ __all__ = [
     "Fig3Result",
     "run_longlived",
     "LongLivedResult",
+    "quick_grid",
+    "default_grid",
+    "full_grid",
+    "figure_campaigns",
+    "named_grid",
 ]

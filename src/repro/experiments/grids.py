@@ -1,0 +1,152 @@
+"""Predefined campaign grids.
+
+Named, versioned grid definitions so the CLI, the benchmarks and CI all
+sweep the same matrices.  Three tiers:
+
+* ``quick`` — a tiny grid for smoke tests (seconds);
+* ``default`` — the 24-cell acceptance matrix (2 schedulers × 2
+  controllers × 3 scenarios × 2 seeds);
+* ``full`` — every scheduler × every controller × every scenario.
+
+Plus one single-cell campaign per paper figure: the sweep twin of each
+evaluation, using the closest scenario/controller pairing the cell runner
+offers.  They are deliberately approximations — the faithful reproductions
+stay in their dedicated ``repro.experiments.fig*`` modules — but give every
+figure a cached, regression-tracked data point inside the campaign format.
+"""
+
+from __future__ import annotations
+
+from repro.sweep.grid import CampaignGrid
+
+
+def quick_grid(campaign_seed: int = 1) -> CampaignGrid:
+    """A four-cell smoke grid (used by the CI sweep job)."""
+    return CampaignGrid(
+        name="quick",
+        campaign_seed=campaign_seed,
+        experiments=["bulk_transfer"],
+        scenarios=["dual_homed", "asymmetric_loss"],
+        schedulers=["lowest_rtt"],
+        controllers=["passive", "fullmesh"],
+        seeds=1,
+        params={"transfer_bytes": 100_000, "horizon": 15.0},
+    )
+
+
+def default_grid(campaign_seed: int = 1, seeds: int = 2) -> CampaignGrid:
+    """The 24-cell default matrix: schedulers × controllers × scenarios × seeds."""
+    return CampaignGrid(
+        name="default",
+        campaign_seed=campaign_seed,
+        experiments=["bulk_transfer"],
+        scenarios=["dual_homed", "asymmetric_loss", "path_failure_recovery"],
+        schedulers=["lowest_rtt", "round_robin"],
+        controllers=["passive", "fullmesh"],
+        seeds=seeds,
+        params={"transfer_bytes": 150_000, "horizon": 20.0},
+    )
+
+
+def full_grid(campaign_seed: int = 1, seeds: int = 3) -> CampaignGrid:
+    """Every scheduler × controller × dual-path scenario the registries offer."""
+    return CampaignGrid(
+        name="full",
+        campaign_seed=campaign_seed,
+        experiments=["bulk_transfer", "streaming"],
+        scenarios=[
+            "dual_homed",
+            "natted",
+            "wifi_lte_handover",
+            "asymmetric_loss",
+            "bufferbloat_cellular",
+            "path_failure_recovery",
+            "addaddr_stripped",
+        ],
+        schedulers=["lowest_rtt", "round_robin", "redundant"],
+        controllers=["passive", "fullmesh", "ndiffports", "smart_backup", "refresh"],
+        seeds=seeds,
+        params={"transfer_bytes": 150_000, "block_count": 6, "horizon": 25.0},
+    )
+
+
+def figure_campaigns(campaign_seed: int = 1) -> dict[str, CampaignGrid]:
+    """One-cell campaigns mirroring each paper figure's setting."""
+    return {
+        # Fig 2a: handover off a failing primary path with the smart backup
+        # controller (§4.2).
+        "fig2a": CampaignGrid(
+            name="fig2a",
+            campaign_seed=campaign_seed,
+            experiments=["bulk_transfer"],
+            scenarios=["path_failure_recovery"],
+            schedulers=["lowest_rtt"],
+            controllers=["smart_backup"],
+            seeds=1,
+            # Large enough that the transfer straddles the t=1.5s blackout,
+            # so the controller's handover is actually on the critical path.
+            params={"transfer_bytes": 2_000_000, "horizon": 30.0},
+        ),
+        # Fig 2b: fixed-rate streaming over paths with very unequal loss (§4.3).
+        "fig2b": CampaignGrid(
+            name="fig2b",
+            campaign_seed=campaign_seed,
+            experiments=["streaming"],
+            scenarios=["asymmetric_loss"],
+            schedulers=["lowest_rtt"],
+            controllers=["passive"],
+            seeds=1,
+            params={"block_count": 10, "horizon": 25.0},
+        ),
+        # Fig 2c: bulk transfer across ECMP paths with the refresh
+        # controller replacing slow subflows (§4.4).
+        "fig2c": CampaignGrid(
+            name="fig2c",
+            campaign_seed=campaign_seed,
+            experiments=["bulk_transfer"],
+            scenarios=["ecmp"],
+            schedulers=["lowest_rtt"],
+            controllers=["refresh"],
+            seeds=1,
+            params={"transfer_bytes": 1_000_000, "subflow_count": 5, "horizon": 40.0},
+        ),
+        # Fig 3 measures path-manager signalling delay; its sweep twin runs
+        # the userspace full-mesh manager on the plain dual-path topology.
+        "fig3": CampaignGrid(
+            name="fig3",
+            campaign_seed=campaign_seed,
+            experiments=["bulk_transfer"],
+            scenarios=["dual_homed"],
+            schedulers=["lowest_rtt"],
+            controllers=["fullmesh"],
+            seeds=1,
+            params={"transfer_bytes": 400_000, "horizon": 20.0},
+        ),
+        # §4.1: long-lived connection through an aggressive NAT.
+        "longlived": CampaignGrid(
+            name="longlived",
+            campaign_seed=campaign_seed,
+            experiments=["streaming"],
+            scenarios=["natted"],
+            schedulers=["lowest_rtt"],
+            controllers=["fullmesh"],
+            seeds=1,
+            params={"block_count": 8, "interval": 1.0, "horizon": 30.0},
+        ),
+    }
+
+
+def named_grid(name: str, campaign_seed: int = 1) -> CampaignGrid:
+    """Resolve a grid by CLI name (``quick``, ``default``, ``full``, ``fig2a`` ...)."""
+    builders = {
+        "quick": quick_grid,
+        "default": default_grid,
+        "full": full_grid,
+    }
+    if name in builders:
+        return builders[name](campaign_seed=campaign_seed)
+    figures = figure_campaigns(campaign_seed=campaign_seed)
+    if name in figures:
+        return figures[name]
+    known = sorted(builders) + sorted(figures)
+    raise ValueError(f"unknown grid {name!r} (expected one of {known})")

@@ -17,7 +17,10 @@ from repro.experiments.fig2a_backup import run_fig2a
 from repro.experiments.fig2b_streaming import run_fig2b
 from repro.experiments.fig2c_loadbalance import run_fig2c
 from repro.experiments.fig3_pm_delay import run_fig3
+from repro.experiments.grids import named_grid
 from repro.experiments.longlived import run_longlived
+from repro.sweep.engine import run_campaign
+from repro.sweep.report import format_campaign_report
 
 
 def _run_fig2a(args: argparse.Namespace) -> str:
@@ -45,12 +48,19 @@ def _run_longlived(args: argparse.Namespace) -> str:
     return result.format_report()
 
 
+def _run_sweep(args: argparse.Namespace) -> str:
+    grid = named_grid(args.grid, campaign_seed=args.seed)
+    result = run_campaign(grid, workers=args.workers, cache_dir=args.cache_dir)
+    return format_campaign_report(result)
+
+
 EXPERIMENTS: dict[str, Callable[[argparse.Namespace], str]] = {
     "fig2a": _run_fig2a,
     "fig2b": _run_fig2b,
     "fig2c": _run_fig2c,
     "fig3": _run_fig3,
     "longlived": _run_longlived,
+    "sweep": _run_sweep,
 }
 
 
@@ -74,6 +84,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--requests", type=int, default=200, help="fig3: number of HTTP requests")
     parser.add_argument("--stressed", action="store_true", help="fig3: add CPU-stress scheduling jitter")
     parser.add_argument("--duration", type=float, default=900.0, help="longlived: experiment duration in seconds")
+    parser.add_argument(
+        "--grid",
+        default="default",
+        help="sweep: named campaign grid (quick, default, full, fig2a, fig2b, fig2c, fig3, longlived)",
+    )
+    parser.add_argument("--workers", type=int, default=1, help="sweep: worker processes")
+    parser.add_argument("--cache-dir", default=None, help="sweep: directory for the on-disk cell cache")
     return parser
 
 
@@ -81,7 +98,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "all":
+        # "all" means every paper figure; campaigns are opt-in via "sweep".
+        names = sorted(name for name in EXPERIMENTS if name != "sweep")
+    else:
+        names = [args.experiment]
     for name in names:
         started = time.time()
         report = EXPERIMENTS[name](args)

@@ -33,6 +33,7 @@ from repro.mptcp.scheduler import (
     RoundRobinScheduler,
     RedundantScheduler,
     Scheduler,
+    available_schedulers,
     make_scheduler,
 )
 from repro.mptcp.stack import MptcpStack
@@ -54,6 +55,7 @@ __all__ = [
     "LowestRttScheduler",
     "RoundRobinScheduler",
     "RedundantScheduler",
+    "available_schedulers",
     "make_scheduler",
     "MpCapableOption",
     "MpJoinOption",

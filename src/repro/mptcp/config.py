@@ -44,5 +44,7 @@ class MptcpConfig:
         self.tcp.validate()
         if self.max_subflows < 1:
             raise ValueError("max_subflows must be at least 1")
-        if self.scheduler not in ("lowest_rtt", "round_robin", "redundant"):
+        from repro.mptcp.scheduler import SCHEDULER_REGISTRY
+
+        if self.scheduler not in SCHEDULER_REGISTRY:
             raise ValueError(f"unknown scheduler {self.scheduler!r}")

@@ -73,11 +73,23 @@ class RoundRobinScheduler(Scheduler):
         candidates = sorted(self.eligible(subflows), key=lambda flow: flow.id)
         if not candidates:
             return None
+        cursor_alive = self._last_id is not None and any(
+            flow.id == self._last_id and not flow.is_closed for flow in subflows
+        )
+        if self._last_id is not None and not cursor_alive:
+            # The subflow that set the cursor left the connection (the
+            # connection keeps closed subflows in the list, so "left" means
+            # closed or gone).  Restart the rotation rather than resuming
+            # "after" the stale id, which would let a departed high-id
+            # subflow skip the low-id survivors' turns.  (Merely
+            # window-blocked subflows are alive and keep their position.)
+            self._last_id = None
         if self._last_id is not None:
             for flow in candidates:
                 if flow.id > self._last_id:
                     self._last_id = flow.id
                     return flow
+        # First pick, or wrap-around after a completed cycle.
         chosen = candidates[0]
         self._last_id = chosen.id
         return chosen
@@ -107,14 +119,23 @@ class RedundantScheduler(Scheduler):
         return min(candidates, key=key)
 
 
+SCHEDULER_REGISTRY: dict[str, type[Scheduler]] = {
+    "lowest_rtt": LowestRttScheduler,
+    "round_robin": RoundRobinScheduler,
+    "redundant": RedundantScheduler,
+}
+
+
+def available_schedulers() -> list[str]:
+    """The registry names accepted by :func:`make_scheduler`, sorted."""
+    return sorted(SCHEDULER_REGISTRY)
+
+
 def make_scheduler(name: str) -> Scheduler:
     """Factory used by the stack configuration."""
-    registry = {
-        "lowest_rtt": LowestRttScheduler,
-        "round_robin": RoundRobinScheduler,
-        "redundant": RedundantScheduler,
-    }
     try:
-        return registry[name.lower()]()
+        return SCHEDULER_REGISTRY[name.lower()]()
     except KeyError:
-        raise ValueError(f"unknown scheduler {name!r} (expected one of {sorted(registry)})") from None
+        raise ValueError(
+            f"unknown scheduler {name!r} (expected one of {available_schedulers()})"
+        ) from None

@@ -35,7 +35,36 @@ class FlowState:
     packets: int = 0
 
 
-class NatFirewall(Node):
+class TwoLeggedMiddlebox(Node):
+    """Base for bump-in-the-wire middleboxes with an inside and an outside leg.
+
+    Owns the leg naming, interface creation and the inside↔outside
+    forwarding step shared by every concrete middlebox.
+    """
+
+    INSIDE = "inside"
+    OUTSIDE = "outside"
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        super().__init__(sim, name)
+        self.forwarded = 0
+
+    def attach(self, inside_address: str, outside_address: str) -> tuple[Interface, Interface]:
+        """Create the two legs of the middlebox and return them (inside, outside)."""
+        inside = self.add_interface(self.INSIDE, inside_address)
+        outside = self.add_interface(self.OUTSIDE, outside_address)
+        return inside, outside
+
+    def _forward(self, segment: Segment, in_iface: Interface) -> None:
+        out_name = self.OUTSIDE if in_iface.name == self.INSIDE else self.INSIDE
+        out_iface = self.interfaces[out_name]
+        if not out_iface.is_up:
+            return
+        self.forwarded += 1
+        out_iface.send(segment)
+
+
+class NatFirewall(TwoLeggedMiddlebox):
     """A two-legged stateful firewall with an idle-state timeout.
 
     Parameters
@@ -48,9 +77,6 @@ class NatFirewall(Node):
         firewalls do this); when ``False`` the packet is silently dropped
         (the common NAT behaviour the paper describes).
     """
-
-    INSIDE = "inside"
-    OUTSIDE = "outside"
 
     def __init__(
         self,
@@ -68,7 +94,6 @@ class NatFirewall(Node):
         self.dropped_no_state = 0
         self.dropped_outside_syn = 0
         self.resets_sent = 0
-        self.forwarded = 0
         self.expired_flows = 0
 
     # ------------------------------------------------------------------
@@ -78,12 +103,6 @@ class NatFirewall(Node):
     def idle_timeout(self) -> float:
         """Idle interval after which flow state is removed."""
         return self._idle_timeout
-
-    def attach(self, inside_address: str, outside_address: str) -> tuple[Interface, Interface]:
-        """Create the two legs of the middlebox and return them (inside, outside)."""
-        inside = self.add_interface(self.INSIDE, inside_address)
-        outside = self.add_interface(self.OUTSIDE, outside_address)
-        return inside, outside
 
     def active_flows(self) -> list[FourTuple]:
         """Flows whose state has not expired at the current simulated time."""
@@ -130,14 +149,6 @@ class NatFirewall(Node):
             pass
         self._forward(segment, iface)
 
-    def _forward(self, segment: Segment, in_iface: Interface) -> None:
-        out_name = self.OUTSIDE if in_iface.name == self.INSIDE else self.INSIDE
-        out_iface = self.interfaces[out_name]
-        if not out_iface.is_up:
-            return
-        self.forwarded += 1
-        out_iface.send(segment)
-
     def _reset(self, segment: Segment, in_iface: Interface) -> None:
         rst = Segment(
             src=segment.dst,
@@ -167,3 +178,35 @@ class NatFirewall(Node):
         for flow in expired:
             del self._flows[flow]
             self.expired_flows += 1
+
+
+class OptionStrippingMiddlebox(TwoLeggedMiddlebox):
+    """A transparent middlebox that removes selected TCP options in transit.
+
+    Section 3 of the paper discusses middleboxes that interfere with MPTCP
+    signalling; the classic offender strips ``ADD_ADDR`` (some firewalls drop
+    any option they do not recognise), which silently disables the path
+    manager's address advertisement on that path while leaving the
+    connection itself intact.  The box forwards every packet between its two
+    legs unchanged apart from the configured option classes.
+    """
+
+    def __init__(self, sim: Simulator, name: str, strip_options: tuple[type, ...] = ()) -> None:
+        super().__init__(sim, name)
+        self._strip_options = tuple(strip_options)
+        self.options_stripped = 0
+
+    @property
+    def strip_options(self) -> tuple[type, ...]:
+        """The option classes removed from forwarded segments."""
+        return self._strip_options
+
+    def receive(self, segment: Segment, iface: Interface) -> None:
+        if self._strip_options and segment.options:
+            kept = tuple(
+                option for option in segment.options if not isinstance(option, self._strip_options)
+            )
+            if len(kept) != len(segment.options):
+                self.options_stripped += len(segment.options) - len(kept)
+                segment = segment.with_options(kept)
+        self._forward(segment, iface)

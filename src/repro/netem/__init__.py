@@ -6,10 +6,16 @@ from repro.netem.scenarios import (
     EcmpScenario,
     LanScenario,
     NattedScenario,
+    StrippedAddAddrScenario,
+    build_addaddr_stripped,
+    build_asymmetric_loss,
+    build_bufferbloat_cellular,
     build_dual_homed,
     build_ecmp,
     build_lan,
     build_natted,
+    build_path_failure_recovery,
+    build_wifi_lte_handover,
 )
 
 __all__ = [
@@ -18,8 +24,14 @@ __all__ = [
     "EcmpScenario",
     "LanScenario",
     "NattedScenario",
+    "StrippedAddAddrScenario",
     "build_dual_homed",
     "build_ecmp",
     "build_lan",
     "build_natted",
+    "build_wifi_lte_handover",
+    "build_asymmetric_loss",
+    "build_bufferbloat_cellular",
+    "build_path_failure_recovery",
+    "build_addaddr_stripped",
 ]

@@ -8,11 +8,12 @@ experiment code reads like the Mininet scripts it replaces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional, Sequence
 
 from repro.net.addressing import IPAddress
 from repro.net.host import Host
 from repro.net.link import Link
-from repro.net.middlebox import NatFirewall
+from repro.net.middlebox import NatFirewall, OptionStrippingMiddlebox
 from repro.net.router import EcmpGroup, Router
 from repro.netem.topology import Topology
 from repro.sim.engine import Simulator
@@ -91,6 +92,16 @@ class EcmpScenario:
     def sim(self) -> Simulator:
         """The simulation engine."""
         return self.topology.sim
+
+    @property
+    def client_addresses(self) -> list[IPAddress]:
+        """Single-element list form (the sweep cell runner's common shape)."""
+        return [self.client_address]
+
+    @property
+    def server_addresses(self) -> list[IPAddress]:
+        """Single-element list form (the sweep cell runner's common shape)."""
+        return [self.server_address]
 
 
 def build_ecmp(
@@ -268,3 +279,236 @@ def build_natted(
     server.add_route(client_addresses[0], "if0")
     server.add_route(client_addresses[1], "if1")
     return NattedScenario(topo, client, server, nat, links, client_addresses, server_addresses)
+
+
+def _build_two_path(
+    sim: Simulator,
+    name: str,
+    path_params: Sequence[dict],
+) -> DualHomedScenario:
+    """Shared scaffolding for dual-homed scenarios with per-path parameters.
+
+    ``path_params`` holds one ``add_link`` keyword dict per path (exactly
+    two paths, matching the smartphone topologies of the paper).
+    """
+    topo = Topology(sim, name=name)
+    client = topo.add_host("client")
+    server = topo.add_host("server")
+    client_addresses = [IPAddress("10.0.0.1"), IPAddress("10.1.0.1")]
+    server_addresses = [IPAddress("10.0.0.2"), IPAddress("10.1.0.2")]
+    links = []
+    for index, params in enumerate(path_params):
+        link = topo.add_link(
+            f"path{index}",
+            (client, f"if{index}", client_addresses[index]),
+            (server, f"if{index}", server_addresses[index]),
+            **params,
+        )
+        links.append(link)
+        server.add_route(client_addresses[index], f"if{index}")
+        client.add_route(server_addresses[index], f"if{index}")
+    return DualHomedScenario(topo, client, server, links, client_addresses, server_addresses)
+
+
+def build_wifi_lte_handover(
+    sim: Simulator,
+    wifi_rate_mbps: float = 20.0,
+    wifi_delay_ms: float = 5.0,
+    lte_rate_mbps: float = 8.0,
+    lte_delay_ms: float = 35.0,
+    degrade_at: Optional[float] = 1.0,
+    degrade_loss_percent: float = 25.0,
+    down_at: Optional[float] = 2.5,
+    recover_at: Optional[float] = None,
+) -> DualHomedScenario:
+    """A phone walking out of WiFi coverage onto LTE.
+
+    Path 0 is the WiFi interface: it starts clean, becomes lossy at
+    ``degrade_at`` (edge-of-coverage) and the interface goes down entirely
+    at ``down_at``.  Path 1 is LTE: slower and with a much higher RTT, but
+    stable throughout.  With ``recover_at`` set, WiFi comes back (clean) at
+    that time — the walk-back-indoors case.  Any of the three times may be
+    ``None`` to skip that phase.
+    """
+    for label, value in (("degrade_at", degrade_at), ("down_at", down_at), ("recover_at", recover_at)):
+        if value is not None and value < 0:
+            raise ValueError(f"{label} must be non-negative, got {value!r}")
+    if recover_at is not None:
+        preceding = [value for value in (degrade_at, down_at) if value is not None]
+        if preceding and recover_at <= max(preceding):
+            raise ValueError("recover_at must come after degrade_at and down_at")
+    scenario = _build_two_path(
+        sim,
+        "wifi-lte-handover",
+        [
+            dict(rate_mbps=wifi_rate_mbps, delay_ms=wifi_delay_ms),
+            dict(rate_mbps=lte_rate_mbps, delay_ms=lte_delay_ms),
+        ],
+    )
+    wifi_link = scenario.path_links[0]
+    wifi_iface = scenario.client.interface("if0")
+    if degrade_at is not None:
+        sim.schedule(degrade_at, wifi_link.set_loss_rate, degrade_loss_percent / 100.0)
+    if down_at is not None:
+        sim.schedule(down_at, wifi_iface.set_down)
+    if recover_at is not None:
+        sim.schedule(recover_at, wifi_link.set_loss_rate, 0.0)
+        sim.schedule(recover_at, wifi_iface.set_up)
+    return scenario
+
+
+def build_asymmetric_loss(
+    sim: Simulator,
+    loss_percents: tuple[float, float] = (5.0, 0.5),
+    rate_mbps: float = 10.0,
+    delays_ms: tuple[float, float] = (10.0, 25.0),
+    queue_packets: int = 100,
+) -> DualHomedScenario:
+    """Two always-up paths with very different loss characteristics.
+
+    The low-delay path is the lossy one, so a pure lowest-RTT scheduler
+    keeps being pulled towards the path that hurts it — the trade-off the
+    smart-streaming controller of §4.3 is built around.
+    """
+    return _build_two_path(
+        sim,
+        "asymmetric-loss",
+        [
+            dict(
+                rate_mbps=rate_mbps,
+                delay_ms=delays_ms[index],
+                loss_percent=loss_percents[index],
+                queue_packets=queue_packets,
+            )
+            for index in range(2)
+        ],
+    )
+
+
+def build_bufferbloat_cellular(
+    sim: Simulator,
+    wifi_rate_mbps: float = 10.0,
+    wifi_delay_ms: float = 10.0,
+    wifi_loss_percent: float = 1.0,
+    cell_rate_mbps: float = 3.0,
+    cell_delay_ms: float = 40.0,
+    cell_queue_packets: int = 2000,
+) -> DualHomedScenario:
+    """A clean-but-slow cellular path behind a grossly oversized buffer.
+
+    The cellular link never drops a packet — it queues it instead, so its
+    observed RTT balloons under load (bufferbloat).  RTT-based schedulers
+    drift away from it once they have filled the buffer; loss-based
+    congestion control keeps pushing.
+    """
+    return _build_two_path(
+        sim,
+        "bufferbloat-cellular",
+        [
+            dict(rate_mbps=wifi_rate_mbps, delay_ms=wifi_delay_ms, loss_percent=wifi_loss_percent),
+            dict(rate_mbps=cell_rate_mbps, delay_ms=cell_delay_ms, queue_packets=cell_queue_packets),
+        ],
+    )
+
+
+def build_path_failure_recovery(
+    sim: Simulator,
+    fail_at: float = 1.5,
+    recover_at: float = 3.5,
+    rate_mbps: float = 8.0,
+    delays_ms: tuple[float, float] = (10.0, 30.0),
+) -> DualHomedScenario:
+    """Mid-transfer blackout of the primary path, then full recovery.
+
+    Between ``fail_at`` and ``recover_at`` the primary path drops every
+    packet (a blackout, not a down interface: the host keeps believing the
+    path exists, exactly what RTO-based failure detection has to handle).
+    """
+    if recover_at <= fail_at:
+        raise ValueError("recover_at must come after fail_at")
+    scenario = _build_two_path(
+        sim,
+        "path-failure-recovery",
+        [
+            dict(rate_mbps=rate_mbps, delay_ms=delays_ms[0]),
+            dict(rate_mbps=rate_mbps, delay_ms=delays_ms[1]),
+        ],
+    )
+    primary = scenario.path_links[0]
+    sim.schedule(fail_at, primary.set_loss_rate, 1.0)
+    sim.schedule(recover_at, primary.set_loss_rate, 0.0)
+    return scenario
+
+
+@dataclass
+class StrippedAddAddrScenario:
+    """Dual-path topology whose primary path strips ADD_ADDR options.
+
+    The middlebox forwards everything else untouched, so the connection
+    works — but the server's second address is never learnt through the
+    primary path, which silently disables any path manager that relies on
+    the advertisement (§3 of the paper).
+    """
+
+    topology: Topology
+    client: Host
+    server: Host
+    stripper: OptionStrippingMiddlebox
+    path_links: list[Link]
+    client_addresses: list[IPAddress]
+    server_addresses: list[IPAddress]
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulation engine."""
+        return self.topology.sim
+
+
+def build_addaddr_stripped(
+    sim: Simulator,
+    rate_mbps: float = 10.0,
+    delay_ms: float = 10.0,
+    secondary_delay_ms: float = 30.0,
+) -> StrippedAddAddrScenario:
+    """Build the ADD_ADDR-stripping-middlebox topology."""
+    from repro.mptcp.options import AddAddrOption
+
+    topo = Topology(sim, name="addaddr-stripped")
+    client = topo.add_host("client")
+    server = topo.add_host("server")
+    stripper = topo.add_option_stripper("stripper", strip_options=(AddAddrOption,))
+    stripper.attach("10.0.0.254", "10.0.1.254")
+
+    client_addresses = [IPAddress("10.0.0.1"), IPAddress("10.1.0.1")]
+    server_addresses = [IPAddress("10.0.1.2"), IPAddress("10.1.0.2")]
+
+    links = [
+        topo.add_link(
+            "client-stripper",
+            (client, "if0", client_addresses[0]),
+            stripper.interface(OptionStrippingMiddlebox.INSIDE),
+            rate_mbps=rate_mbps,
+            delay_ms=delay_ms / 2,
+        ),
+        topo.add_link(
+            "stripper-server",
+            stripper.interface(OptionStrippingMiddlebox.OUTSIDE),
+            (server, "if0", server_addresses[0]),
+            rate_mbps=rate_mbps,
+            delay_ms=delay_ms / 2,
+        ),
+        topo.add_link(
+            "direct",
+            (client, "if1", client_addresses[1]),
+            (server, "if1", server_addresses[1]),
+            rate_mbps=rate_mbps,
+            delay_ms=secondary_delay_ms,
+        ),
+    ]
+    client.add_route(server_addresses[0], "if0")
+    client.add_route(server_addresses[1], "if1")
+    server.add_route(client_addresses[0], "if0")
+    server.add_route(client_addresses[1], "if1")
+    return StrippedAddAddrScenario(
+        topo, client, server, stripper, links, client_addresses, server_addresses
+    )

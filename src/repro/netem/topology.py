@@ -14,7 +14,7 @@ from repro.net.addressing import IPAddress
 from repro.net.host import Host
 from repro.net.interface import Interface
 from repro.net.link import Link
-from repro.net.middlebox import NatFirewall
+from repro.net.middlebox import NatFirewall, OptionStrippingMiddlebox
 from repro.net.node import Node
 from repro.net.router import EcmpGroup, Router
 from repro.net.tracer import PacketTracer
@@ -29,7 +29,7 @@ class Topology:
         self._name = name
         self._hosts: dict[str, Host] = {}
         self._routers: dict[str, Router] = {}
-        self._middleboxes: dict[str, NatFirewall] = {}
+        self._middleboxes: dict[str, Node] = {}
         self._links: dict[str, Link] = {}
         self._tracers: dict[str, PacketTracer] = {}
 
@@ -62,7 +62,7 @@ class Topology:
         return self._links
 
     @property
-    def middleboxes(self) -> dict[str, NatFirewall]:
+    def middleboxes(self) -> dict[str, Node]:
         """Middleboxes by name (do not mutate)."""
         return self._middleboxes
 
@@ -106,6 +106,14 @@ class Topology:
         if name in self._middleboxes:
             raise ValueError(f"duplicate middlebox name {name!r}")
         box = NatFirewall(self._sim, name, idle_timeout=idle_timeout, send_rst=send_rst)
+        self._middleboxes[name] = box
+        return box
+
+    def add_option_stripper(self, name: str, strip_options: tuple[type, ...]) -> OptionStrippingMiddlebox:
+        """Create a middlebox that strips the given TCP option classes."""
+        if name in self._middleboxes:
+            raise ValueError(f"duplicate middlebox name {name!r}")
+        box = OptionStrippingMiddlebox(self._sim, name, strip_options=strip_options)
         self._middleboxes[name] = box
         return box
 

@@ -14,7 +14,7 @@ from repro.sim.latency import (
     NormalLatency,
     ShiftedLatency,
 )
-from repro.sim.randomness import RandomSource
+from repro.sim.randomness import RandomSource, derive_seed
 from repro.sim.timers import PeriodicTimer, Timer
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "Timer",
     "PeriodicTimer",
     "RandomSource",
+    "derive_seed",
     "LatencyModel",
     "ConstantLatency",
     "NormalLatency",

@@ -123,7 +123,11 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of events still queued and not cancelled.
+
+        Cancelled events linger in the heap until popped or
+        :meth:`compact`-ed; :attr:`queued_entries` counts those too.
+        """
         return sum(1 for event in self._queue if event.pending)
 
     @property
@@ -162,6 +166,27 @@ class Simulator:
         """Cancel a previously scheduled event (``None`` is tolerated)."""
         if event is not None:
             event.cancel()
+
+    def compact(self) -> int:
+        """Drop cancelled events from the queue and re-heapify.
+
+        Cancellation is lazy (``heapq`` has no efficient removal), so
+        long-lived simulations — and batch drivers such as the sweep engine
+        that reuse a process for many cells — accumulate dead entries that
+        inflate the heap and slow every push/pop.  Returns the number of
+        entries dropped.
+        """
+        if self._running:
+            raise SimulationError("cannot compact the queue while the simulator is running")
+        before = len(self._queue)
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        return before - len(self._queue)
+
+    @property
+    def queued_entries(self) -> int:
+        """Raw heap size, including cancelled entries (see :meth:`compact`)."""
+        return len(self._queue)
 
     # ------------------------------------------------------------------
     # execution

@@ -9,11 +9,32 @@ unrelated components — a property that keeps regression tests stable.
 
 from __future__ import annotations
 
+import hashlib
 import random
 import zlib
 from typing import Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
+
+
+def derive_seed(root_seed: int, *components: object) -> int:
+    """Derive a child seed from ``root_seed`` and a label path.
+
+    The sweep engine seeds every campaign cell with
+    ``derive_seed(campaign_seed, experiment, scheduler, ...)`` so that a
+    cell's randomness depends only on the campaign seed and the cell's own
+    coordinates — never on worker count, scheduling order, or which other
+    cells exist.  SHA-256 (rather than ``hash``) keeps the derivation stable
+    across processes and Python versions.
+
+    Returns a non-negative 63-bit integer.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(int(root_seed)).encode("utf-8"))
+    for component in components:
+        digest.update(b"\x1f")
+        digest.update(str(component).encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big") & 0x7FFFFFFFFFFFFFFF
 
 
 class RandomSource:

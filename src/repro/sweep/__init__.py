@@ -1,0 +1,31 @@
+"""Parallel experiment sweep campaigns.
+
+The paper evaluates one scenario per figure; this package turns the same
+machinery into a campaign engine: declare a grid of experiment × scenario ×
+scheduler × controller × seed, expand it into cells, run the cells across
+worker processes (deterministically — see :mod:`repro.sweep.engine`), cache
+completed cells on disk, and aggregate the metrics into percentile tables
+and cross-scenario CDFs.
+"""
+
+from repro.sweep.cache import CellCache
+from repro.sweep.cells import CONTROLLERS, EXPERIMENTS, SCENARIOS, run_cell, trace_digest
+from repro.sweep.engine import CampaignResult, CellOutcome, run_campaign
+from repro.sweep.grid import CampaignGrid, CellSpec, SWEEP_FORMAT_VERSION
+from repro.sweep.report import format_campaign_report
+
+__all__ = [
+    "CampaignGrid",
+    "CellSpec",
+    "CellCache",
+    "CellOutcome",
+    "CampaignResult",
+    "run_campaign",
+    "run_cell",
+    "trace_digest",
+    "format_campaign_report",
+    "SCENARIOS",
+    "CONTROLLERS",
+    "EXPERIMENTS",
+    "SWEEP_FORMAT_VERSION",
+]

@@ -1,0 +1,61 @@
+"""On-disk cache of completed campaign cells.
+
+One JSON file per cell, named by the cell's config hash (see
+:meth:`CellSpec.config_hash`).  Writes are atomic (tmp file + rename) so a
+campaign interrupted mid-write never leaves a truncated entry behind, and
+concurrent workers writing the same cell simply race to an identical file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Optional
+
+
+class CellCache:
+    """A directory of ``<config-hash>.json`` cell results."""
+
+    def __init__(self, directory: str) -> None:
+        self._directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    @property
+    def directory(self) -> str:
+        """The backing directory."""
+        return self._directory
+
+    def _path(self, config_hash: str) -> str:
+        return os.path.join(self._directory, f"{config_hash}.json")
+
+    def get(self, config_hash: str) -> Optional[dict]:
+        """The cached entry for ``config_hash``, or ``None``.
+
+        Unreadable/corrupt entries are treated as misses: the cell is
+        simply recomputed and the entry rewritten.
+        """
+        try:
+            with open(self._path(config_hash), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return entry if isinstance(entry, dict) else None
+
+    def put(self, config_hash: str, entry: dict) -> None:
+        """Store ``entry`` (a JSON-serialisable dict) atomically."""
+        path = self._path(config_hash)
+        fd, tmp_path = tempfile.mkstemp(dir=self._directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except FileNotFoundError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self._directory) if name.endswith(".json"))

@@ -1,0 +1,235 @@
+"""The campaign engine: expand, cache-check, run in parallel, aggregate.
+
+Determinism contract
+--------------------
+``run_campaign`` produces byte-identical canonical output for a given
+``(grid, campaign_seed)`` regardless of:
+
+* the number of workers (serial, 2, 4, ...),
+* the order in which workers finish cells,
+* whether results came from the on-disk cache or a fresh run.
+
+This holds because each cell seeds its own simulator purely from the
+campaign seed and the cell coordinates (:meth:`CellSpec.cell_seed`) and the
+engine reassembles results in grid-expansion order, never completion order.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import time
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sweep.cache import CellCache
+from repro.sweep.cells import run_cell
+from repro.sweep.grid import CampaignGrid, CellSpec
+
+
+@dataclass
+class CellOutcome:
+    """One cell of a finished campaign."""
+
+    spec: CellSpec
+    config_hash: str
+    result: dict
+    cached: bool
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign produced."""
+
+    name: str
+    campaign_seed: int
+    cells: list[CellOutcome]
+    workers_requested: int
+    workers_used: int
+    parallel_fallback: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_time: float = 0.0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def cell_count(self) -> int:
+        """Number of cells in the campaign."""
+        return len(self.cells)
+
+    def metric_values(self, metric: str) -> list[float]:
+        """All non-``None`` values of a per-cell metric, in cell order."""
+        from repro.analysis.aggregate import metric_values
+
+        return metric_values(self.cells, metric)
+
+    def to_canonical_json(self) -> str:
+        """Deterministic serialisation of specs and results.
+
+        Excludes run metadata (cache hits, workers, wall time) on purpose:
+        this is the byte-identity surface the determinism regression tests
+        compare across worker counts and cache states.
+        """
+        payload = {
+            "name": self.name,
+            "campaign_seed": self.campaign_seed,
+            "cells": [
+                {
+                    "spec": cell.spec.as_dict(),
+                    "config_hash": cell.config_hash,
+                    "result": cell.result,
+                }
+                for cell in self.cells
+            ],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+ProgressCallback = Callable[[CellSpec, dict, bool], None]
+
+
+class PoolUnavailableError(RuntimeError):
+    """The platform could not provide (or keep alive) a worker pool.
+
+    Distinct from exceptions raised by a cell's own code, which must abort
+    the campaign instead of silently triggering a serial re-run.
+    """
+
+
+def _run_cells_parallel(
+    pending: list[tuple[int, CellSpec]],
+    campaign_seed: int,
+    workers: int,
+    on_cell: Callable[[int, dict], None],
+) -> None:
+    """Run cells on a process pool.
+
+    Raises :class:`PoolUnavailableError` when the pool itself cannot be
+    created or dies (restricted sandboxes, missing POSIX semaphores, killed
+    workers); lets cell-level exceptions propagate untouched.
+    ``on_cell(index, result)`` fires in the parent process as each cell
+    completes (completion order, not grid order).
+    """
+    try:
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+    except (OSError, ImportError, NotImplementedError) as error:
+        raise PoolUnavailableError(f"cannot start a worker pool: {error}") from error
+    with pool:
+        futures = {
+            pool.submit(run_cell, spec.as_dict(), campaign_seed): index
+            for index, spec in pending
+        }
+        for future in concurrent.futures.as_completed(futures):
+            try:
+                result = future.result()
+            except BrokenExecutor as error:
+                raise PoolUnavailableError(f"worker pool died: {error}") from error
+            on_cell(futures[future], result)
+
+
+def run_campaign(
+    grid: CampaignGrid,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> CampaignResult:
+    """Run every cell of ``grid`` and aggregate the results.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``1`` runs serially in-process; higher
+        values use a ``ProcessPoolExecutor``.  If the platform refuses to
+        start the pool (restricted sandboxes), the engine falls back to a
+        serial run and flags it in the result — output is identical either
+        way.
+    cache_dir:
+        When given, completed cells are stored there keyed by config hash
+        and reused on subsequent runs.
+    progress:
+        Optional callback invoked as ``progress(spec, result, cached)``
+        after every cell, in completion order.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers!r}")
+    grid.validate()
+    started = time.monotonic()
+
+    specs = grid.expand()
+    hashes = [spec.config_hash(grid.campaign_seed) for spec in specs]
+    cache = CellCache(cache_dir) if cache_dir is not None else None
+
+    results: dict[int, dict] = {}
+    cached_flags: dict[int, bool] = {}
+    pending: list[tuple[int, CellSpec]] = []
+    for index, (spec, config_hash) in enumerate(zip(specs, hashes)):
+        entry = cache.get(config_hash) if cache is not None else None
+        if entry is not None and "result" in entry:
+            results[index] = entry["result"]
+            cached_flags[index] = True
+            if progress is not None:
+                progress(spec, entry["result"], True)
+        else:
+            pending.append((index, spec))
+
+    fallback = False
+    workers_used = min(workers, len(pending)) if pending else 0
+    if pending:
+        spec_by_index = dict(pending)
+
+        def on_cell(index: int, result: dict) -> None:
+            """Record one freshly computed cell (fires in completion order)."""
+            results[index] = result
+            cached_flags[index] = False
+            if cache is not None:
+                cache.put(
+                    hashes[index],
+                    {
+                        "spec": spec_by_index[index].as_dict(),
+                        "campaign_seed": grid.campaign_seed,
+                        "result": result,
+                    },
+                )
+            if progress is not None:
+                progress(spec_by_index[index], result, False)
+
+        if workers_used > 1:
+            try:
+                _run_cells_parallel(pending, grid.campaign_seed, workers_used, on_cell)
+            except PoolUnavailableError:
+                fallback = True
+                workers_used = 1
+        if workers_used <= 1:
+            workers_used = 1
+            # Serial path — and, after a pool failure, whatever cells the
+            # pool did not get to before breaking.
+            for index, spec in pending:
+                if index not in results:
+                    on_cell(index, run_cell(spec.as_dict(), grid.campaign_seed))
+
+    cells = [
+        CellOutcome(
+            spec=spec,
+            config_hash=hashes[index],
+            result=results[index],
+            cached=cached_flags[index],
+        )
+        for index, spec in enumerate(specs)
+    ]
+    outcome = CampaignResult(
+        name=grid.name,
+        campaign_seed=grid.campaign_seed,
+        cells=cells,
+        workers_requested=workers,
+        workers_used=workers_used,
+        parallel_fallback=fallback,
+        cache_hits=sum(1 for cached in cached_flags.values() if cached),
+        cache_misses=sum(1 for cached in cached_flags.values() if not cached),
+        wall_time=time.monotonic() - started,
+    )
+    if fallback:
+        outcome.notes.append(
+            "process pool unavailable on this platform; cells ran serially instead"
+        )
+    return outcome

@@ -1,0 +1,183 @@
+"""Declarative campaign grids.
+
+A :class:`CampaignGrid` names the axes of a parameter sweep — experiment,
+netem scenario, packet scheduler, path-manager/controller and seed — and
+expands them into the cartesian product of :class:`CellSpec` cells.  The
+expansion order is fixed (nested loops over sorted-as-given axes), every
+cell's seed derives only from the campaign seed and the cell coordinates,
+and each cell has a stable content hash so completed cells can be cached on
+disk and reused across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Optional, Sequence
+
+from repro.sim.randomness import derive_seed
+
+# Bump when the cell runner's semantics change in a way that invalidates
+# previously cached results.
+SWEEP_FORMAT_VERSION = 1
+
+
+def _freeze_params(params: Optional[Mapping[str, object]]) -> tuple[tuple[str, object], ...]:
+    return tuple(sorted((params or {}).items()))
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One point of the campaign grid."""
+
+    experiment: str
+    scenario: str
+    scheduler: str
+    controller: str
+    seed_index: int
+    params: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def key(self) -> str:
+        """Human-readable stable identifier (also the aggregation sort key)."""
+        return (
+            f"{self.experiment}/{self.scenario}/{self.scheduler}/"
+            f"{self.controller}/seed{self.seed_index}"
+        )
+
+    @property
+    def param_dict(self) -> dict[str, object]:
+        """The extra parameters as a plain dict."""
+        return dict(self.params)
+
+    def cell_seed(self, campaign_seed: int) -> int:
+        """The simulator seed for this cell.
+
+        Depends only on the campaign seed and the cell coordinates — never
+        on worker count, execution order, or which other cells exist.
+        """
+        return derive_seed(
+            campaign_seed,
+            self.experiment,
+            self.scenario,
+            self.scheduler,
+            self.controller,
+            self.seed_index,
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (pickled to workers, stored in the cache)."""
+        return {
+            "experiment": self.experiment,
+            "scenario": self.scenario,
+            "scheduler": self.scheduler,
+            "controller": self.controller,
+            "seed_index": self.seed_index,
+            "params": {key: value for key, value in self.params},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CellSpec":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            experiment=data["experiment"],
+            scenario=data["scenario"],
+            scheduler=data["scheduler"],
+            controller=data["controller"],
+            seed_index=int(data["seed_index"]),
+            params=_freeze_params(data.get("params")),
+        )
+
+    def config_hash(self, campaign_seed: int) -> str:
+        """Content hash identifying this cell's full configuration.
+
+        Two cells with the same hash are guaranteed to produce the same
+        result, which is what makes the on-disk cache safe.
+        """
+        payload = {
+            "version": SWEEP_FORMAT_VERSION,
+            "campaign_seed": int(campaign_seed),
+            "spec": self.as_dict(),
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CampaignGrid:
+    """The cartesian product description of a sweep campaign."""
+
+    name: str = "campaign"
+    campaign_seed: int = 1
+    experiments: Sequence[str] = ("bulk_transfer",)
+    scenarios: Sequence[str] = ("dual_homed",)
+    schedulers: Sequence[str] = ("lowest_rtt",)
+    controllers: Sequence[str] = ("passive",)
+    seeds: int = 1
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.seeds < 1:
+            raise ValueError(f"seeds must be at least 1, got {self.seeds!r}")
+        for axis_name in ("experiments", "scenarios", "schedulers", "controllers"):
+            axis = getattr(self, axis_name)
+            if not axis:
+                raise ValueError(f"axis {axis_name!r} must not be empty")
+            if len(set(axis)) != len(tuple(axis)):
+                raise ValueError(f"axis {axis_name!r} contains duplicates: {axis!r}")
+
+    @property
+    def cell_count(self) -> int:
+        """Number of cells the grid expands to."""
+        return (
+            len(tuple(self.experiments))
+            * len(tuple(self.scenarios))
+            * len(tuple(self.schedulers))
+            * len(tuple(self.controllers))
+            * self.seeds
+        )
+
+    def expand(self) -> list[CellSpec]:
+        """Expand the grid into cells, in a fixed deterministic order."""
+        return list(self._iter_cells())
+
+    def _iter_cells(self) -> Iterator[CellSpec]:
+        frozen = _freeze_params(self.params)
+        for experiment in self.experiments:
+            for scenario in self.scenarios:
+                for scheduler in self.schedulers:
+                    for controller in self.controllers:
+                        for seed_index in range(self.seeds):
+                            yield CellSpec(
+                                experiment=experiment,
+                                scenario=scenario,
+                                scheduler=scheduler,
+                                controller=controller,
+                                seed_index=seed_index,
+                                params=frozen,
+                            )
+
+    def validate(self) -> None:
+        """Check every axis value against the runtime registries.
+
+        Imported lazily to keep the grid module free of simulator
+        dependencies (grids are cheap to build in tools and tests).
+        """
+        from repro.mptcp.scheduler import SCHEDULER_REGISTRY
+        from repro.sweep.cells import CONTROLLERS, EXPERIMENTS, SCENARIOS
+
+        for experiment in self.experiments:
+            if experiment not in EXPERIMENTS:
+                raise ValueError(f"unknown experiment {experiment!r} (have {sorted(EXPERIMENTS)})")
+        for scenario in self.scenarios:
+            if scenario not in SCENARIOS:
+                raise ValueError(f"unknown scenario {scenario!r} (have {sorted(SCENARIOS)})")
+        for scheduler in self.schedulers:
+            if scheduler not in SCHEDULER_REGISTRY:
+                raise ValueError(
+                    f"unknown scheduler {scheduler!r} (have {sorted(SCHEDULER_REGISTRY)})"
+                )
+        for controller in self.controllers:
+            if controller not in CONTROLLERS:
+                raise ValueError(f"unknown controller {controller!r} (have {sorted(CONTROLLERS)})")

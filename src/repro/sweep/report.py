@@ -1,0 +1,77 @@
+"""Text rendering of a finished campaign.
+
+Mirrors the per-figure report style of ``repro.experiments``: a header with
+the run accounting, percentile tables of the headline metric per scenario,
+and a cross-scenario CDF comparison — the "as many scenarios as you can
+imagine" counterpart of the paper's single-scenario figures.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.aggregate import cdfs_by, summarize_groups
+from repro.analysis.report import format_cdf_table, format_table
+from repro.sweep.engine import CampaignResult
+
+#: Headline metric per experiment type.
+HEADLINE_METRICS = {
+    "bulk_transfer": ("completion_time", "s"),
+    "streaming": ("block_delay_mean", "s"),
+}
+
+
+def format_campaign_report(result: CampaignResult) -> str:
+    """Render the campaign summary as plain text."""
+    lines = [
+        f"campaign '{result.name}' (seed {result.campaign_seed}): "
+        f"{result.cell_count} cells, "
+        f"{result.cache_hits} cached / {result.cache_misses} computed, "
+        # workers_used is 0 when every cell came from the cache.
+        f"workers={result.workers_used}, "
+        f"wall time {result.wall_time:.1f}s",
+    ]
+    lines.extend(result.notes)
+
+    experiments = []
+    for cell in result.cells:
+        if cell.spec.experiment not in experiments:
+            experiments.append(cell.spec.experiment)
+
+    for experiment in experiments:
+        metric, unit = HEADLINE_METRICS.get(experiment, ("completion_time", "s"))
+        cells = [cell for cell in result.cells if cell.spec.experiment == experiment]
+
+        lines.append("")
+        lines.append(f"[{experiment}] {metric} by scenario / scheduler / controller:")
+        summaries = summarize_groups(cells, metric, by=("scenario", "scheduler", "controller"))
+        rows = []
+        for key, stats in summaries.items():
+            scenario, scheduler, controller = key
+            if stats is None:
+                rows.append([scenario, scheduler, controller, 0, "-", "-", "-", "-"])
+            else:
+                rows.append(
+                    [
+                        scenario,
+                        scheduler,
+                        controller,
+                        stats.count,
+                        f"{stats.median:.3f}{unit}",
+                        f"{stats.mean:.3f}{unit}",
+                        f"{stats.p95:.3f}{unit}",
+                        f"{stats.maximum:.3f}{unit}",
+                    ]
+                )
+        lines.append(
+            format_table(
+                ["scenario", "scheduler", "controller", "n", "median", "mean", "p95", "max"],
+                rows,
+            )
+        )
+
+        cdfs = cdfs_by(cells, metric, by=("scenario",))
+        if cdfs:
+            lines.append("")
+            lines.append(f"[{experiment}] cross-scenario {metric} CDF:")
+            lines.append(format_cdf_table(cdfs, unit=unit))
+
+    return "\n".join(lines)

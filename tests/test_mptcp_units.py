@@ -234,3 +234,77 @@ class TestSubflow:
     def test_info_snapshot(self, sim):
         flow = self._subflow(sim)
         assert flow.info().state == "CLOSED"
+
+
+class TestRoundRobinChurn:
+    """The rotation cursor must survive subflows joining and leaving."""
+
+    def test_cursor_resets_when_highest_id_subflow_leaves(self):
+        scheduler = RoundRobinScheduler()
+        flows = {flow_id: make_flow(flow_id, 0.01, 10_000) for flow_id in (1, 2, 5)}
+        assert scheduler.select(list(flows.values()), 1400).id == 1
+        assert scheduler.select(list(flows.values()), 1400).id == 2
+        assert scheduler.select(list(flows.values()), 1400).id == 5
+        # Subflow 5 (the one that set the cursor) is closed; the rotation
+        # must restart cleanly over the survivors instead of staying pinned
+        # past the now-stale id.
+        del flows[5]
+        picks = [scheduler.select(list(flows.values()), 1400).id for _ in range(4)]
+        assert picks == [1, 2, 1, 2]
+        assert scheduler._last_id == 2
+
+    def test_cursor_survives_new_higher_id_subflow(self):
+        scheduler = RoundRobinScheduler()
+        flows = {flow_id: make_flow(flow_id, 0.01, 10_000) for flow_id in (1, 2)}
+        assert scheduler.select(list(flows.values()), 1400).id == 1
+        flows[3] = make_flow(3, 0.01, 10_000)
+        assert scheduler.select(list(flows.values()), 1400).id == 2
+        assert scheduler.select(list(flows.values()), 1400).id == 3
+        assert scheduler.select(list(flows.values()), 1400).id == 1
+
+    def test_full_churn_replaces_every_subflow(self):
+        scheduler = RoundRobinScheduler()
+        first_generation = [make_flow(1, 0.01, 10_000), make_flow(2, 0.01, 10_000)]
+        assert scheduler.select(first_generation, 1400).id == 1
+        assert scheduler.select(first_generation, 1400).id == 2
+        # Entirely new subflow set with lower ids than the stale cursor.
+        second_generation = [make_flow(1, 0.01, 10_000)]
+        assert scheduler.select(second_generation, 1400).id == 1
+        assert scheduler.select(second_generation, 1400).id == 1
+
+    def test_stale_cursor_does_not_skip_low_id_survivors(self):
+        scheduler = RoundRobinScheduler()
+        flows = {flow_id: make_flow(flow_id, 0.01, 10_000) for flow_id in (1, 2, 5)}
+        assert scheduler.select(list(flows.values()), 1400).id == 1
+        assert scheduler.select(list(flows.values()), 1400).id == 2
+        assert scheduler.select(list(flows.values()), 1400).id == 5
+        # Subflow 5 is replaced by subflow 7.  A stale cursor at 5 would
+        # hand the turn straight to 7; the rotation must restart instead so
+        # flows 1 and 2 are not skipped.
+        del flows[5]
+        flows[7] = make_flow(7, 0.01, 10_000)
+        picks = [scheduler.select(list(flows.values()), 1400).id for _ in range(4)]
+        assert picks == [1, 2, 7, 1]
+
+    def test_closed_subflow_in_unpruned_list_releases_cursor(self):
+        """The connection never prunes its subflow list — a closed subflow
+        stays in it.  The cursor must treat closed-but-listed as departed."""
+        scheduler = RoundRobinScheduler()
+        flows = {flow_id: make_flow(flow_id, 0.01, 10_000) for flow_id in (1, 2, 5)}
+        assert scheduler.select(list(flows.values()), 1400).id == 1
+        assert scheduler.select(list(flows.values()), 1400).id == 2
+        assert scheduler.select(list(flows.values()), 1400).id == 5
+        # Subflow 5 closes but remains in the list, and subflow 7 joins.
+        flows[5].is_closed = True
+        flows[5].is_usable = False
+        flows[5].is_established = False
+        flows[7] = make_flow(7, 0.01, 10_000)
+        picks = [scheduler.select(list(flows.values()), 1400).id for _ in range(4)]
+        assert picks == [1, 2, 7, 1]
+
+    def test_cursor_cleared_rather_than_stale_after_wrap(self):
+        scheduler = RoundRobinScheduler()
+        flows = [make_flow(7, 0.01, 10_000)]
+        assert scheduler.select(flows, 1400).id == 7
+        assert scheduler.select(flows, 1400).id == 7
+        assert scheduler._last_id == 7

@@ -177,3 +177,125 @@ class TestAnalysisProperties:
         assert stats.minimum - tolerance <= stats.mean <= stats.maximum + tolerance
         assert stats.count == len(samples)
         assert stats.stddev >= 0
+
+
+# ----------------------------------------------------------------------
+# scheduler properties
+# ----------------------------------------------------------------------
+from repro.mptcp.scheduler import (  # noqa: E402
+    SCHEDULER_REGISTRY,
+    available_schedulers,
+    make_scheduler,
+)
+
+
+class _SchedFakeSocket:
+    """Just enough socket surface for the schedulers."""
+
+    def __init__(self, srtt, window, established):
+        class _Rtt:
+            pass
+
+        self.rtt = _Rtt()
+        self.rtt.srtt = srtt
+        self._window = window
+        self._established = established
+        self.backup = False
+
+    @property
+    def is_established(self):
+        return self._established
+
+    @property
+    def is_closed(self):
+        return False
+
+    def available_window(self):
+        return self._window
+
+
+class _SchedFakeFlow:
+    def __init__(self, flow_id, srtt, window, backup, established):
+        self.id = flow_id
+        self.backup = backup
+        self.socket = _SchedFakeSocket(srtt, window, established)
+        self.is_usable = established
+        self.is_established = established
+        self.is_closed = False
+
+
+flow_states = st.builds(
+    lambda srtt, window, backup, established: (srtt, window, backup, established),
+    st.one_of(st.none(), st.floats(min_value=1e-4, max_value=2.0)),
+    st.integers(min_value=0, max_value=100_000),
+    st.booleans(),
+    st.booleans(),
+)
+flow_sets = st.lists(flow_states, min_size=0, max_size=8).map(
+    lambda states: [
+        _SchedFakeFlow(index + 1, *state) for index, state in enumerate(states)
+    ]
+)
+
+
+class TestSchedulerProperties:
+    @given(st.sampled_from(sorted(SCHEDULER_REGISTRY)), flow_sets)
+    @settings(max_examples=300, deadline=None)
+    def test_selection_comes_from_eligible_set(self, name, flows):
+        scheduler = make_scheduler(name)
+        chosen = scheduler.select(flows, 1400)
+        eligible = scheduler.eligible(flows)
+        if chosen is None:
+            assert eligible == []
+        else:
+            assert chosen in eligible
+
+    @given(st.sampled_from(sorted(SCHEDULER_REGISTRY)), flow_sets)
+    @settings(max_examples=300, deadline=None)
+    def test_never_selects_unusable_or_windowless_subflow(self, name, flows):
+        scheduler = make_scheduler(name)
+        chosen = scheduler.select(flows, 1400)
+        if chosen is not None:
+            assert chosen.is_usable
+            assert chosen.socket.available_window() > 0
+
+    @given(flow_sets)
+    @settings(max_examples=300, deadline=None)
+    def test_backup_semantics(self, flows):
+        """RFC 6824: backup subflows carry data only when no regular one can.
+
+        Applies to every scheduler with the default eligibility rules; the
+        redundant scheduler opts out of backup priority by design.
+        """
+        for name in ("lowest_rtt", "round_robin"):
+            scheduler = make_scheduler(name)
+            chosen = scheduler.select(flows, 1400)
+            regular_available = any(
+                flow.is_usable and not flow.backup and flow.socket.available_window() > 0
+                for flow in flows
+            )
+            if chosen is not None and chosen.backup:
+                assert not regular_available
+
+    @given(st.lists(flow_sets, min_size=1, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_round_robin_stable_under_churn(self, generations):
+        """Arbitrary subflow churn never desynchronises the rotation cursor."""
+        scheduler = make_scheduler("round_robin")
+        for flows in generations:
+            for _ in range(len(flows) + 1):
+                chosen = scheduler.select(flows, 1400)
+                eligible = scheduler.eligible(flows)
+                if eligible:
+                    assert chosen in eligible
+                else:
+                    assert chosen is None
+
+    def test_registry_round_trips(self):
+        assert available_schedulers() == sorted(SCHEDULER_REGISTRY)
+        for name in available_schedulers():
+            scheduler = make_scheduler(name)
+            assert isinstance(scheduler, SCHEDULER_REGISTRY[name])
+            assert scheduler.name == name
+            # Case-insensitive lookup is part of the contract.
+            assert type(make_scheduler(name.upper())) is type(scheduler)

@@ -189,3 +189,77 @@ class TestRunControl:
         a = Simulator(seed=1).random.random()
         b = Simulator(seed=2).random.random()
         assert a != b
+
+
+class TestCompaction:
+    def test_compact_drops_cancelled_entries(self, sim):
+        keep = [sim.schedule(1.0, lambda: None) for _ in range(5)]
+        drop = [sim.schedule(2.0, lambda: None) for _ in range(20)]
+        for event in drop:
+            event.cancel()
+        assert sim.queued_entries == 25
+        assert sim.compact() == 20
+        assert sim.queued_entries == 5
+        assert sim.pending_events == 5
+        assert all(event.pending for event in keep)
+
+    def test_compact_preserves_execution_order(self, sim):
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        doomed = sim.schedule(1.5, order.append, "x")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        doomed.cancel()
+        sim.compact()
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_compact_on_empty_queue(self, sim):
+        assert sim.compact() == 0
+
+    def test_compact_rejected_while_running(self, sim):
+        failures = []
+
+        def inside():
+            try:
+                sim.compact()
+            except SimulationError:
+                failures.append(True)
+
+        sim.schedule(1.0, inside)
+        sim.run()
+        assert failures == [True]
+
+    def test_pending_events_excludes_cancelled_without_compact(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        assert sim.pending_events == 0
+        assert sim.queued_entries == 1
+
+
+class TestSeedDerivation:
+    def test_derive_seed_is_stable(self):
+        from repro.sim import derive_seed
+
+        assert derive_seed(1, "a", "b", 0) == derive_seed(1, "a", "b", 0)
+
+    def test_derive_seed_depends_on_every_component(self):
+        from repro.sim import derive_seed
+
+        base = derive_seed(1, "exp", "scen", 0)
+        assert base != derive_seed(2, "exp", "scen", 0)
+        assert base != derive_seed(1, "exp2", "scen", 0)
+        assert base != derive_seed(1, "exp", "scen", 1)
+
+    def test_derive_seed_component_boundaries(self):
+        from repro.sim import derive_seed
+
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+
+    def test_derive_seed_range(self):
+        from repro.sim import derive_seed
+
+        for index in range(50):
+            seed = derive_seed(7, "cell", index)
+            assert 0 <= seed < 2**63

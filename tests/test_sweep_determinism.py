@@ -1,0 +1,87 @@
+"""The determinism regression net for the sweep engine and the simulator.
+
+Two guarantees are pinned here:
+
+1. A campaign's aggregated output is byte-identical whether cells run
+   serially, on 2 workers, or on 4 workers — and whether results come from
+   the on-disk cache or fresh runs.
+2. Every netem scenario is trace-deterministic: two simulators built with
+   the same seed produce identical packet traces, packet for packet.
+"""
+
+import pytest
+
+from repro.sweep import SCENARIOS, CampaignGrid, run_campaign, run_cell
+
+
+def acceptance_grid() -> CampaignGrid:
+    """The ISSUE's acceptance matrix: 2 × 2 × 3 × 2 = 24 cells."""
+    return CampaignGrid(
+        name="acceptance",
+        campaign_seed=42,
+        experiments=["bulk_transfer"],
+        scenarios=["dual_homed", "asymmetric_loss", "path_failure_recovery"],
+        schedulers=["lowest_rtt", "round_robin"],
+        controllers=["passive", "fullmesh"],
+        seeds=2,
+        params={"transfer_bytes": 120_000, "horizon": 20.0},
+    )
+
+
+class TestCampaignWorkerIndependence:
+    def test_serial_two_and_four_workers_are_byte_identical(self):
+        grid = acceptance_grid()
+        assert grid.cell_count == 24
+        serial = run_campaign(grid, workers=1)
+        two = run_campaign(grid, workers=2)
+        four = run_campaign(grid, workers=4)
+        assert serial.to_canonical_json() == two.to_canonical_json()
+        assert serial.to_canonical_json() == four.to_canonical_json()
+
+    def test_cached_rerun_is_byte_identical_and_all_hits(self, tmp_path):
+        grid = acceptance_grid()
+        first = run_campaign(grid, workers=4, cache_dir=str(tmp_path))
+        assert first.cache_misses == 24
+        second = run_campaign(grid, workers=4, cache_dir=str(tmp_path))
+        assert second.cache_hits == 24 and second.cache_misses == 0
+        assert first.to_canonical_json() == second.to_canonical_json()
+
+    def test_campaign_seed_changes_results(self):
+        grid_a = acceptance_grid()
+        grid_b = acceptance_grid()
+        grid_b.campaign_seed = 43
+        a = run_campaign(grid_a, workers=1)
+        b = run_campaign(grid_b, workers=1)
+        digests_a = [cell.result["trace_digest"] for cell in a.cells]
+        digests_b = [cell.result["trace_digest"] for cell in b.cells]
+        assert digests_a != digests_b
+
+
+class TestScenarioTraceDeterminism:
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_same_seed_same_trace(self, scenario):
+        spec = {
+            "experiment": "bulk_transfer",
+            "scenario": scenario,
+            "scheduler": "lowest_rtt",
+            "controller": "fullmesh",
+            "seed_index": 0,
+            "params": {"transfer_bytes": 50_000, "horizon": 12.0},
+        }
+        first = run_cell(spec, 9)
+        second = run_cell(spec, 9)
+        assert first == second
+        assert first["trace_digest"] == second["trace_digest"]
+        assert first["trace_packets"] > 0
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_different_seed_different_trace(self, scenario):
+        spec = {
+            "experiment": "bulk_transfer",
+            "scenario": scenario,
+            "scheduler": "lowest_rtt",
+            "controller": "fullmesh",
+            "seed_index": 0,
+            "params": {"transfer_bytes": 50_000, "horizon": 12.0},
+        }
+        assert run_cell(spec, 9)["trace_digest"] != run_cell(spec, 10)["trace_digest"]
