@@ -8,3 +8,12 @@ import sys
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-workloads-baseline",
+        action="store_true",
+        default=False,
+        help="re-record BENCH_workloads.json from this machine's rates",
+    )

@@ -1,0 +1,123 @@
+"""Micro-benchmark: harness cells/second, per workload.
+
+Runs a batch of identical-shaped harness cells per workload (the unit of
+work the sweep engine schedules) and reports the cells/second rate.  The
+interesting comparison is bulk vs. http: an http cell opens one MPTCP
+connection per request, so it stresses connection setup/teardown where the
+bulk cell stresses the data path.
+
+``BENCH_workloads.json`` at the repo root is the committed baseline (first
+recorded on the machine noted inside); re-generate it with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_workloads.py -q \
+        --update-workloads-baseline
+
+and commit the result so the perf trajectory stays visible across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+import pytest
+
+from repro.sweep import run_cell
+
+BASELINE_PATH = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                             "BENCH_workloads.json")
+
+#: One representative cell per benchmarked workload.
+CELL_SPECS = {
+    "bulk_transfer": {
+        "experiment": "bulk_transfer",
+        "scenario": "dual_homed",
+        "scheduler": "lowest_rtt",
+        "controller": "fullmesh",
+        "seed_index": 0,
+        "params": {"transfer_bytes": 150_000, "horizon": 20.0},
+    },
+    "http": {
+        "experiment": "http",
+        "scenario": "dual_homed",
+        "scheduler": "lowest_rtt",
+        "controller": "fullmesh",
+        "seed_index": 0,
+        "params": {"request_count": 4, "object_size": 40_000, "horizon": 20.0},
+    },
+}
+
+CELLS_PER_ROUND = 5
+
+
+def _run_batch(name: str) -> dict:
+    """Run CELLS_PER_ROUND cells of one workload; returns rate + metrics."""
+    spec = CELL_SPECS[name]
+    started = time.perf_counter()
+    results = [
+        run_cell({**spec, "seed_index": index}, 33) for index in range(CELLS_PER_ROUND)
+    ]
+    elapsed = time.perf_counter() - started
+    return {
+        "cells": CELLS_PER_ROUND,
+        "elapsed_s": elapsed,
+        "cells_per_s": CELLS_PER_ROUND / elapsed,
+        "events_per_cell": sum(r["events_processed"] for r in results) / len(results),
+    }
+
+
+@pytest.mark.parametrize("workload", sorted(CELL_SPECS))
+def test_workload_cell_throughput(benchmark, workload):
+    stats = benchmark.pedantic(lambda: _run_batch(workload), rounds=1, iterations=1)
+    print()
+    print(
+        f"{workload}: {stats['cells']} cells in {stats['elapsed_s']:.2f}s "
+        f"({stats['cells_per_s']:.1f} cells/s, ~{stats['events_per_cell']:.0f} events/cell)"
+    )
+    assert stats["cells_per_s"] > 0
+
+
+def test_report_against_committed_baseline(request):
+    """Compare the current rates to BENCH_workloads.json (informational).
+
+    The assertion is deliberately loose (10x regression) — machine-to-machine
+    variance dwarfs code-level changes; the committed numbers exist to make
+    the trajectory visible, not to gate CI on hardware.
+    """
+    current = {name: _run_batch(name) for name in sorted(CELL_SPECS)}
+
+    if request.config.getoption("--update-workloads-baseline"):
+        payload = {
+            "recorded_on": {
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+                "system": platform.system(),
+            },
+            "cells_per_round": CELLS_PER_ROUND,
+            "workloads": {
+                name: {"cells_per_s": round(stats["cells_per_s"], 2),
+                       "events_per_cell": round(stats["events_per_cell"])}
+                for name, stats in current.items()
+            },
+        }
+        with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote new baseline to {BASELINE_PATH}")
+        return
+
+    with open(BASELINE_PATH, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    print()
+    for name, stats in current.items():
+        recorded = baseline["workloads"][name]["cells_per_s"]
+        ratio = stats["cells_per_s"] / recorded if recorded else float("inf")
+        print(
+            f"{name}: {stats['cells_per_s']:.1f} cells/s now vs {recorded:.1f} baseline "
+            f"({ratio:.2f}x)"
+        )
+        assert stats["cells_per_s"] > recorded / 10, (
+            f"{name} throughput collapsed more than 10x below the committed baseline"
+        )

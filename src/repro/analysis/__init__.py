@@ -3,7 +3,13 @@
 from repro.analysis.aggregate import cdfs_by, group_cells, metric_values, summarize_groups
 from repro.analysis.cdf import Cdf
 from repro.analysis.stats import SummaryStats, summarize
-from repro.analysis.trace import SequencePoint, SubflowSequenceTrace, extract_sequence_trace, syn_join_delays
+from repro.analysis.trace import (
+    SequencePoint,
+    SubflowSequenceTrace,
+    extract_sequence_trace,
+    payload_byte_totals,
+    syn_join_delays,
+)
 from repro.analysis.report import format_cdf_table, format_comparison_table, format_table
 
 __all__ = [
@@ -13,6 +19,7 @@ __all__ = [
     "SubflowSequenceTrace",
     "SequencePoint",
     "extract_sequence_trace",
+    "payload_byte_totals",
     "syn_join_delays",
     "format_table",
     "format_cdf_table",

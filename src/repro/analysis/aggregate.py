@@ -47,11 +47,15 @@ def group_cells(cells: Iterable, by: Sequence[str]) -> dict[tuple[str, ...], lis
 
 
 def metric_values(cells: Iterable, metric: str) -> list[float]:
-    """All non-``None`` values of ``metric`` across the cells, in order."""
+    """All numeric values of ``metric`` across the cells, in order.
+
+    Cells where the metric is missing, ``None`` or structured (some probe
+    metrics are per-subflow dicts) contribute no sample.
+    """
     values = []
     for cell in cells:
         value = _cell_result(cell).get(metric)
-        if value is not None:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
             values.append(float(value))
     return values
 

@@ -141,6 +141,17 @@ class HttpClientDriver:
         """Per-request completion times for finished requests."""
         return [record.completion_time for record in self.records if record.completion_time is not None]
 
+    @property
+    def total_received_bytes(self) -> int:
+        """Response bytes received across every request so far."""
+        return sum(record.received_bytes for record in self.records)
+
+    @property
+    def last_completion_at(self) -> Optional[float]:
+        """Simulated time the most recent request finished (``None`` if none did)."""
+        completed = [record.completed_at for record in self.records if record.completed_at is not None]
+        return max(completed) if completed else None
+
     # ------------------------------------------------------------------
     # internal flow
     # ------------------------------------------------------------------

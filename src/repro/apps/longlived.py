@@ -85,6 +85,14 @@ class LongLivedApp(Application):
         """Messages acknowledged by the peer."""
         return sum(1 for record in self.messages if record.acked_at is not None)
 
+    def delivery_times(self) -> list[float]:
+        """End-to-end delivery times of every acknowledged message."""
+        return [
+            record.delivery_time
+            for record in self.messages
+            if record.delivery_time is not None
+        ]
+
     def stop(self) -> None:
         """Stop the periodic message timer (the connection stays open)."""
         if self._timer is not None:

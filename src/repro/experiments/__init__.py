@@ -1,17 +1,25 @@
-"""Experiment harness: one module per figure of the paper's evaluation.
+"""Experiment presets: one module per figure of the paper's evaluation.
 
-Each module exposes a ``run_*`` function that builds the emulated topology,
-runs the workload under the relevant controllers/path managers and returns
-a result object with a ``format_report()`` method printing the same series
-the paper's figure shows.  The :mod:`repro.experiments.runner` module wraps
-them in a command-line interface (``smapp-experiments``).
+Each module exposes a ``run_*`` function that composes the relevant
+workload × scenario × controller × probes through the unified harness
+(:mod:`repro.workloads`) and returns a result object with a
+``format_report()`` method printing the same series the paper's figure
+shows.  The :mod:`repro.experiments.runner` module wraps them in a
+command-line interface (``smapp-experiments``).
 """
 
 from repro.experiments.fig2a_backup import Fig2aResult, run_fig2a
 from repro.experiments.fig2b_streaming import Fig2bResult, run_fig2b
 from repro.experiments.fig2c_loadbalance import Fig2cResult, run_fig2c
 from repro.experiments.fig3_pm_delay import Fig3Result, run_fig3
-from repro.experiments.grids import default_grid, figure_campaigns, full_grid, named_grid, quick_grid
+from repro.experiments.grids import (
+    default_grid,
+    figure_campaigns,
+    full_grid,
+    named_grid,
+    quick_grid,
+    workloads_grid,
+)
 from repro.experiments.longlived import LongLivedResult, run_longlived
 
 __all__ = [
@@ -28,6 +36,7 @@ __all__ = [
     "quick_grid",
     "default_grid",
     "full_grid",
+    "workloads_grid",
     "figure_campaigns",
     "named_grid",
 ]

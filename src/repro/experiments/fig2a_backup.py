@@ -12,24 +12,26 @@ The kernel-only baseline (a backup-flagged subflow that is only used after
 the primary dies from ~15 RTO doublings) can optionally be simulated too;
 the paper reports it takes about 12 minutes with the default Linux
 configuration.
+
+Both variants are presets over the unified workload harness: the bulk
+workload composed with a dual-homed scenario, a smart-backup (or passive)
+client stack, a trace probe and a scheduled loss-onset hook.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Optional
 
 from repro.analysis.report import format_table
-from repro.analysis.trace import SubflowSequenceTrace, extract_sequence_trace
-from repro.apps.bulk import BulkReceiverApp, BulkSenderApp
+from repro.analysis.trace import SubflowSequenceTrace
 from repro.core.controllers import SmartBackupController
 from repro.core.manager import SmappManager
-from repro.mptcp.config import MptcpConfig
-from repro.mptcp.stack import MptcpStack
 from repro.mptcp.subflow import SubflowOrigin
 from repro.net.addressing import FourTuple
 from repro.netem.scenarios import build_dual_homed
-from repro.sim.engine import Simulator
+from repro.workloads import ClientSetup, Harness, HarnessSpec, TraceProbe
 
 SERVER_PORT = 5001
 
@@ -81,6 +83,26 @@ class Fig2aResult:
         return "\n".join(lines)
 
 
+def _smart_backup_client(ctx, rto_threshold: float) -> ClientSetup:
+    """Client stack preset: SMAPP manager with the smart backup controller."""
+    manager = SmappManager(ctx.sim, ctx.scenario.client)
+    controller = manager.attach_controller(
+        SmartBackupController,
+        backup_local_address=ctx.scenario.client_addresses[1],
+        backup_remote_address=ctx.scenario.server_addresses[1],
+        backup_remote_port=SERVER_PORT,
+        rto_threshold=rto_threshold,
+    )
+    return ClientSetup(manager.stack, manager=manager, controller=controller)
+
+
+def _schedule_loss(run, loss_start: float, loss_percent: float) -> None:
+    """Hook: the primary path turns lossy at ``loss_start``."""
+    run.sim.schedule(
+        loss_start, run.scenario.path_links[0].set_loss_rate, loss_percent / 100.0
+    )
+
+
 def run_fig2a(
     seed: int = 1,
     duration: float = 5.0,
@@ -94,46 +116,27 @@ def run_fig2a(
     baseline_horizon: float = 1800.0,
 ) -> Fig2aResult:
     """Run the smart-backup handover experiment (Figure 2a)."""
-    sim = Simulator(seed=seed)
-    scenario = build_dual_homed(sim, rate_mbps=rate_mbps, delay_ms=delay_ms)
-    tracer = scenario.topology.add_tracer("capture")
-
-    receivers: list[BulkReceiverApp] = []
-
-    def receiver_factory() -> BulkReceiverApp:
-        receiver = BulkReceiverApp(expected_bytes=transfer_bytes)
-        receivers.append(receiver)
-        return receiver
-
-    server_stack = MptcpStack(sim, scenario.server, config=MptcpConfig())
-    server_stack.listen(SERVER_PORT, receiver_factory)
-
-    manager = SmappManager(sim, scenario.client)
-    controller = manager.attach_controller(
-        SmartBackupController,
-        backup_local_address=scenario.client_addresses[1],
-        backup_remote_address=scenario.server_addresses[1],
-        backup_remote_port=SERVER_PORT,
-        rto_threshold=rto_threshold,
+    trace_probe = TraceProbe(tracer_name="capture")
+    run = Harness().run(
+        HarnessSpec(
+            workload="bulk_transfer",
+            scenario=lambda sim: build_dual_homed(sim, rate_mbps=rate_mbps, delay_ms=delay_ms),
+            controller=partial(_smart_backup_client, rto_threshold=rto_threshold),
+            seed=seed,
+            horizon=duration,
+            server_port=SERVER_PORT,
+            params={"transfer_bytes": transfer_bytes, "close_when_done": False},
+            probes=(trace_probe,),
+            hooks=(partial(_schedule_loss, loss_start=loss_start, loss_percent=loss_percent),),
+        )
     )
 
-    sender = BulkSenderApp(transfer_bytes, close_when_done=False)
-    conn = manager.stack.connect(
-        scenario.server_addresses[0],
-        SERVER_PORT,
-        listener=sender,
-        local_address=scenario.client_addresses[0],
-    )
-
-    sim.schedule(loss_start, scenario.path_links[0].set_loss_rate, loss_percent / 100.0)
-    sim.run(until=duration)
-
-    trace = extract_sequence_trace(tracer)
+    trace = trace_probe.sequence_trace()
     primary_tuple = None
     backup_tuple = None
     bytes_primary = 0
     bytes_backup = 0
-    for flow in conn.subflows:
+    for flow in run.connection.subflows:
         if flow.is_initial:
             primary_tuple = flow.four_tuple
             bytes_primary = flow.bytes_scheduled
@@ -141,7 +144,7 @@ def run_fig2a(
             backup_tuple = flow.four_tuple
             bytes_backup = flow.bytes_scheduled
 
-    switch_time = controller.switch_times.get(conn.local_token)
+    switch_time = run.client.controller.switch_times.get(run.connection.local_token)
 
     baseline_failover = None
     if include_baseline:
@@ -168,6 +171,26 @@ def run_fig2a(
     )
 
 
+def _schedule_kernel_backup(run) -> None:
+    """Hook: open a backup-flagged subflow shortly after establishment."""
+    conn = run.connection
+    scenario = run.scenario
+    sim = run.sim
+
+    def open_backup() -> None:
+        if conn.established:
+            conn.create_subflow(
+                scenario.client_addresses[1],
+                remote_address=scenario.server_addresses[1],
+                remote_port=SERVER_PORT,
+                backup=True,
+            )
+        else:
+            sim.schedule(0.1, open_backup)
+
+    sim.schedule(0.2, open_backup)
+
+
 def _run_kernel_backup_baseline(
     seed: int,
     loss_start: float,
@@ -182,34 +205,24 @@ def _run_kernel_backup_baseline(
     Returns the time at which data first flows on the backup subflow, or
     ``None`` if it never happens within ``horizon``.
     """
-    sim = Simulator(seed=seed + 1000)
-    scenario = build_dual_homed(sim, rate_mbps=rate_mbps, delay_ms=delay_ms)
-    receivers: list[BulkReceiverApp] = []
-    server_stack = MptcpStack(sim, scenario.server, config=MptcpConfig())
-    server_stack.listen(SERVER_PORT, lambda: receivers.append(BulkReceiverApp()) or receivers[-1])
-
-    client_stack = MptcpStack(sim, scenario.client, config=MptcpConfig())
-    sender = BulkSenderApp(50_000_000, close_when_done=False)
-    conn = client_stack.connect(
-        scenario.server_addresses[0], SERVER_PORT, listener=sender,
-        local_address=scenario.client_addresses[0],
+    run = Harness().run(
+        HarnessSpec(
+            workload="bulk_transfer",
+            scenario=lambda sim: build_dual_homed(sim, rate_mbps=rate_mbps, delay_ms=delay_ms),
+            controller="passive",
+            seed=seed + 1000,
+            horizon=horizon,
+            server_port=SERVER_PORT,
+            params={"transfer_bytes": 50_000_000, "close_when_done": False},
+            probes=(),
+            hooks=(
+                _schedule_kernel_backup,
+                partial(_schedule_loss, loss_start=loss_start, loss_percent=loss_percent),
+            ),
+        )
     )
 
-    def open_backup() -> None:
-        if conn.established:
-            conn.create_subflow(
-                scenario.client_addresses[1],
-                remote_address=scenario.server_addresses[1],
-                remote_port=SERVER_PORT,
-                backup=True,
-            )
-        else:
-            sim.schedule(0.1, open_backup)
-
-    sim.schedule(0.2, open_backup)
-    sim.schedule(loss_start, scenario.path_links[0].set_loss_rate, loss_percent / 100.0)
-    sim.run(until=horizon)
-
+    conn = run.connection
     backup_flow = None
     for flow in conn.subflows:
         if flow.backup:

@@ -8,23 +8,25 @@ rate increases.  The Smart Stream controller (§4.3) keeps the CDF close to
 the loss-free case even at 10-40 % loss: it opens the second path as soon
 as a block makes insufficient progress and closes any subflow whose RTO
 exceeds one second.
+
+Each run is a preset over the unified workload harness: the streaming
+workload on the dual-homed scenario with either the full-mesh path manager
+or the smart streaming controller as the client stack.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from functools import partial
+from typing import Sequence
 
 from repro.analysis.cdf import Cdf
 from repro.analysis.report import format_cdf_table
-from repro.apps.streaming import StreamingSinkApp, StreamingSourceApp
+from repro.apps.streaming import StreamingSinkApp
 from repro.core.controllers import SmartStreamingController
 from repro.core.manager import SmappManager
-from repro.mptcp.config import MptcpConfig
-from repro.mptcp.path_manager import FullMeshPathManager
-from repro.mptcp.stack import MptcpStack
 from repro.netem.scenarios import build_dual_homed
-from repro.sim.engine import Simulator
+from repro.workloads import ClientSetup, Harness, HarnessSpec
 
 SERVER_PORT = 6001
 BLOCK_BYTES = 64 * 1024
@@ -56,6 +58,21 @@ class Fig2bResult:
         return "\n".join(lines)
 
 
+def _smart_streaming_client(ctx, interval: float) -> ClientSetup:
+    """Client stack preset: SMAPP manager with the smart streaming controller."""
+    manager = SmappManager(ctx.sim, ctx.scenario.client)
+    controller = manager.attach_controller(
+        SmartStreamingController,
+        secondary_local_address=ctx.scenario.client_addresses[1],
+        secondary_remote_address=ctx.scenario.server_addresses[1],
+        secondary_remote_port=SERVER_PORT,
+        block_interval=interval,
+        progress_threshold=BLOCK_BYTES // 2,
+        rto_limit=1.0,
+    )
+    return ClientSetup(manager.stack, manager=manager, controller=controller)
+
+
 def _run_stream(
     seed: int,
     loss_percent: float,
@@ -66,53 +83,32 @@ def _run_stream(
     interval: float,
 ) -> StreamingSinkApp:
     """One streaming run; returns the sink with its per-block records."""
-    sim = Simulator(seed=seed)
-    scenario = build_dual_homed(
-        sim, rate_mbps=rate_mbps, delay_ms=delay_ms, loss_percent=(loss_percent, 0.0)
-    )
-
-    sinks: list[StreamingSinkApp] = []
-
-    def sink_factory() -> StreamingSinkApp:
-        sink = StreamingSinkApp(block_bytes=BLOCK_BYTES, interval=interval)
-        sinks.append(sink)
-        return sink
-
-    server_stack = MptcpStack(sim, scenario.server, config=MptcpConfig())
-    server_stack.listen(SERVER_PORT, sink_factory)
-
-    source = StreamingSourceApp(
-        block_bytes=BLOCK_BYTES, interval=interval, block_count=block_count, close_when_done=True
-    )
-
-    if smart:
-        manager = SmappManager(sim, scenario.client)
-        manager.attach_controller(
-            SmartStreamingController,
-            secondary_local_address=scenario.client_addresses[1],
-            secondary_remote_address=scenario.server_addresses[1],
-            secondary_remote_port=SERVER_PORT,
-            block_interval=interval,
-            progress_threshold=BLOCK_BYTES // 2,
-            rto_limit=1.0,
+    run = Harness().run(
+        HarnessSpec(
+            workload="streaming",
+            scenario=lambda sim: build_dual_homed(
+                sim, rate_mbps=rate_mbps, delay_ms=delay_ms, loss_percent=(loss_percent, 0.0)
+            ),
+            controller=(
+                partial(_smart_streaming_client, interval=interval) if smart else "fullmesh"
+            ),
+            seed=seed,
+            # Leave generous drain time so every block (even badly delayed
+            # ones) gets delivered and measured.
+            horizon=block_count * interval + 30.0,
+            server_port=SERVER_PORT,
+            params={
+                "block_bytes": BLOCK_BYTES,
+                "interval": interval,
+                "block_count": block_count,
+                "close_when_done": True,
+            },
+            probes=(),
         )
-        client_stack = manager.stack
-    else:
-        client_stack = MptcpStack(
-            sim, scenario.client, config=MptcpConfig(), path_manager=FullMeshPathManager()
-        )
-
-    client_stack.connect(
-        scenario.server_addresses[0],
-        SERVER_PORT,
-        listener=source,
-        local_address=scenario.client_addresses[0],
     )
-
-    # Leave generous drain time so every block (even badly delayed ones)
-    # gets delivered and measured.
-    sim.run(until=block_count * interval + 30.0)
-    return sinks[0] if sinks else StreamingSinkApp(block_bytes=BLOCK_BYTES, interval=interval)
+    if run.server_apps:
+        return run.server_apps[0]
+    return StreamingSinkApp(block_bytes=BLOCK_BYTES, interval=interval)
 
 
 def run_fig2b(

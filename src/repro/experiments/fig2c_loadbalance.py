@@ -12,6 +12,10 @@ converges onto all four paths and concentrates near the optimum.
 A full-size run (dozens of seeds at 100 MB) is expensive in pure Python;
 ``scale`` shrinks the transferred volume proportionally (completion times
 scale accordingly) and is reported in the result.
+
+Each run is a preset over the unified workload harness: the bulk workload
+on the ECMP scenario under either the ndiffports path manager or the
+refresh controller (both straight from the controller registry).
 """
 
 from __future__ import annotations
@@ -21,15 +25,9 @@ from typing import Optional
 
 from repro.analysis.cdf import Cdf
 from repro.analysis.report import format_cdf_table, format_table
-from repro.apps.bulk import BulkReceiverApp, BulkSenderApp
-from repro.core.controllers import RefreshController
-from repro.core.manager import SmappManager
-from repro.mptcp.config import MptcpConfig
-from repro.mptcp.path_manager import NdiffportsPathManager
-from repro.mptcp.stack import MptcpStack
 from repro.net.router import EcmpGroup
-from repro.netem.scenarios import EcmpScenario, build_ecmp
-from repro.sim.engine import Simulator
+from repro.netem.scenarios import EcmpScenario
+from repro.workloads import Harness, HarnessSpec
 
 SERVER_PORT = 7001
 FULL_FILE_BYTES = 100 * 1024 * 1024
@@ -108,39 +106,33 @@ def _run_once(
     refresh_interval: float,
     horizon: float,
 ) -> RunRecord:
-    sim = Simulator(seed=seed)
-    scenario = build_ecmp(sim)
-
-    receivers: list[BulkReceiverApp] = []
-    server_stack = MptcpStack(sim, scenario.server, config=MptcpConfig())
-    server_stack.listen(
-        SERVER_PORT, lambda: receivers.append(BulkReceiverApp(expected_bytes=file_bytes)) or receivers[-1]
+    run = Harness().run(
+        HarnessSpec(
+            workload="bulk_transfer",
+            scenario="ecmp",
+            controller="refresh" if variant == "refresh" else "ndiffports",
+            seed=seed,
+            horizon=horizon,
+            server_port=SERVER_PORT,
+            params={
+                "transfer_bytes": file_bytes,
+                "close_when_done": True,
+                # Single-homed client: let the routing table pick the
+                # egress interface, like the original script did.
+                "bind_local": False,
+                "subflow_count": subflow_count,
+                "refresh_interval": refresh_interval,
+            },
+            probes=(),
+        )
     )
-
-    sender = BulkSenderApp(file_bytes, close_when_done=True)
-    if variant == "refresh":
-        manager = SmappManager(sim, scenario.client)
-        manager.attach_controller(
-            RefreshController, subflow_count=subflow_count, refresh_interval=refresh_interval
-        )
-        client_stack = manager.stack
-    else:
-        client_stack = MptcpStack(
-            sim,
-            scenario.client,
-            config=MptcpConfig(),
-            path_manager=NdiffportsPathManager(subflow_count=subflow_count),
-        )
-
-    conn = client_stack.connect(scenario.server_address, SERVER_PORT, listener=sender)
-    sim.run(until=horizon)
 
     return RunRecord(
         seed=seed,
         variant=variant,
-        completion_time=sender.completion_time,
-        distinct_paths=_distinct_paths(scenario, conn),
-        subflows_created=len(conn.subflows),
+        completion_time=run.driver.completion_time,
+        distinct_paths=_distinct_paths(run.scenario, run.connection),
+        subflows_created=len(run.connection.subflows),
     )
 
 

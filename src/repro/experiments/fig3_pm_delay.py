@@ -9,25 +9,25 @@ carrying MP_JOIN, measured from the packet trace — precisely what the
 paper's Figure 3 plots.  The userspace variant pays two Netlink crossings
 plus the controller's processing time, which showed up as ~23 µs of extra
 delay on the paper's hardware (and stayed below 37 µs under CPU stress).
+
+Each variant is a preset over the unified workload harness: the HTTP
+workload on the LAN scenario with a latency-calibrated client stack and a
+trace probe whose SYN-to-JOIN extraction yields the figure's data set.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from functools import partial
 
 from repro.analysis.cdf import Cdf
 from repro.analysis.report import format_cdf_table
-from repro.analysis.trace import syn_join_delays
-from repro.apps.http import HttpClientDriver, HttpServerApp
 from repro.core.controllers import UserspaceNdiffportsController
 from repro.core.manager import SmappManager
-from repro.mptcp.config import MptcpConfig
 from repro.mptcp.path_manager import NdiffportsPathManager
 from repro.mptcp.stack import MptcpStack
-from repro.netem.scenarios import build_lan
-from repro.sim.engine import Simulator
 from repro.sim.latency import LogNormalLatency, ShiftedLatency
+from repro.workloads import ClientSetup, Harness, HarnessSpec, TraceProbe
 
 SERVER_PORT = 80
 
@@ -70,28 +70,14 @@ class Fig3Result:
         return "\n".join(lines)
 
 
-def _run_variant(
-    seed: int,
-    userspace: bool,
-    request_count: int,
-    object_size: int,
-    stressed: bool,
-) -> list[float]:
-    """Run one variant and return the measured SYN-to-JOIN delays."""
-    sim = Simulator(seed=seed)
-    scenario = build_lan(sim, rate_mbps=1000.0, delay_ms=0.05)
-    tracer = scenario.topology.add_tracer("capture", ["lan"])
+def _calibrated_client(ctx, userspace: bool, stressed: bool) -> ClientSetup:
+    """Client stack preset with the paper's latency calibration.
 
-    servers: list[HttpServerApp] = []
-    server_stack = MptcpStack(sim, scenario.server, config=MptcpConfig())
-    server_stack.listen(
-        SERVER_PORT, lambda: servers.append(HttpServerApp(object_size=object_size)) or servers[-1]
-    )
-
-    # Latency calibration: the in-kernel path manager reacts within a few
-    # microseconds; the userspace one pays one Netlink crossing per
-    # direction plus library/controller processing.  CPU stress adds
-    # scheduling delay to both (slightly more to the userspace process).
+    The in-kernel path manager reacts within a few microseconds; the
+    userspace one pays one Netlink crossing per direction plus
+    library/controller processing.  CPU stress adds scheduling delay to
+    both (slightly more to the userspace process).
+    """
     kernel_processing = LogNormalLatency(2.5e-6, sigma=0.35)
     crossing = LogNormalLatency(8e-6, sigma=0.4)
     library_processing = LogNormalLatency(2.5e-6, sigma=0.35)
@@ -102,33 +88,52 @@ def _run_variant(
 
     if userspace:
         manager = SmappManager(
-            sim,
-            scenario.client,
+            ctx.sim,
+            ctx.scenario.client,
             kernel_to_user_latency=crossing,
             user_to_kernel_latency=crossing,
             library_processing=library_processing,
         )
-        manager.attach_controller(UserspaceNdiffportsController, subflow_count=2)
-        client_stack = manager.stack
-    else:
-        client_stack = MptcpStack(
-            sim,
-            scenario.client,
-            config=MptcpConfig(),
+        controller = manager.attach_controller(UserspaceNdiffportsController, subflow_count=2)
+        return ClientSetup(manager.stack, manager=manager, controller=controller)
+    return ClientSetup(
+        MptcpStack(
+            ctx.sim,
+            ctx.scenario.client,
+            config=ctx.config,
             path_manager=NdiffportsPathManager(subflow_count=2, processing_latency=kernel_processing),
         )
-
-    driver = HttpClientDriver(
-        client_stack,
-        scenario.server_address,
-        SERVER_PORT,
-        request_count=request_count,
-        object_size=object_size,
     )
-    driver.start()
-    # 512 KB at 1 Gbps is ~4.5 ms per request; leave ample room.
-    sim.run(until=request_count * 0.1 + 10.0)
-    return syn_join_delays(tracer)
+
+
+def _run_variant(
+    seed: int,
+    userspace: bool,
+    request_count: int,
+    object_size: int,
+    stressed: bool,
+) -> list[float]:
+    """Run one variant and return the measured SYN-to-JOIN delays."""
+    trace_probe = TraceProbe(tracer_name="capture", links=["lan"])
+    Harness().run(
+        HarnessSpec(
+            workload="http",
+            scenario="lan",
+            controller=partial(_calibrated_client, userspace=userspace, stressed=stressed),
+            seed=seed,
+            # 512 KB at 1 Gbps is ~4.5 ms per request; leave ample room.
+            horizon=request_count * 0.1 + 10.0,
+            server_port=SERVER_PORT,
+            params={
+                "request_count": request_count,
+                "object_size": object_size,
+                "request_size": 200,
+                "think_time": 0.0,
+            },
+            probes=(trace_probe,),
+        )
+    )
+    return trace_probe.syn_join_delays()
 
 
 def run_fig3(

@@ -6,11 +6,14 @@ sweep the same matrices.  Three tiers:
 * ``quick`` — a tiny grid for smoke tests (seconds);
 * ``default`` — the 24-cell acceptance matrix (2 schedulers × 2
   controllers × 3 scenarios × 2 seeds);
-* ``full`` — every scheduler × every controller × every scenario.
+* ``full`` — every workload × scheduler × controller × dual-path scenario;
+* ``workloads`` — every registered workload over every registered
+  scenario (the orthogonal matrix the unified harness unlocked).
 
 Plus one single-cell campaign per paper figure: the sweep twin of each
-evaluation, using the closest scenario/controller pairing the cell runner
-offers.  They are deliberately approximations — the faithful reproductions
+evaluation.  With http and longlived registered as sweep experiments the
+fig3 and longlived twins now run the paper's actual workloads; the twins
+remain approximations of the full evaluations — the faithful reproductions
 stay in their dedicated ``repro.experiments.fig*`` modules — but give every
 figure a cached, regression-tracked data point inside the campaign format.
 """
@@ -49,11 +52,11 @@ def default_grid(campaign_seed: int = 1, seeds: int = 2) -> CampaignGrid:
 
 
 def full_grid(campaign_seed: int = 1, seeds: int = 3) -> CampaignGrid:
-    """Every scheduler × controller × dual-path scenario the registries offer."""
+    """Every workload × scheduler × controller × dual-path scenario."""
     return CampaignGrid(
         name="full",
         campaign_seed=campaign_seed,
-        experiments=["bulk_transfer", "streaming"],
+        experiments=["bulk_transfer", "streaming", "http", "longlived"],
         scenarios=[
             "dual_homed",
             "natted",
@@ -66,7 +69,43 @@ def full_grid(campaign_seed: int = 1, seeds: int = 3) -> CampaignGrid:
         schedulers=["lowest_rtt", "round_robin", "redundant"],
         controllers=["passive", "fullmesh", "ndiffports", "smart_backup", "refresh"],
         seeds=seeds,
-        params={"transfer_bytes": 150_000, "block_count": 6, "horizon": 25.0},
+        params={
+            "transfer_bytes": 150_000,
+            "block_count": 6,
+            "request_count": 3,
+            "object_size": 100_000,
+            "message_interval": 2.0,
+            "horizon": 25.0,
+        },
+    )
+
+
+def workloads_grid(campaign_seed: int = 1) -> CampaignGrid:
+    """Every registered workload over every registered scenario.
+
+    The fully orthogonal matrix the unified harness unlocked: one cell per
+    workload × scenario under the default scheduler and the in-kernel
+    full-mesh path manager, with workload parameters small enough that the
+    whole grid runs in well under a minute.
+    """
+    from repro.sweep.cells import EXPERIMENTS, SCENARIOS
+
+    return CampaignGrid(
+        name="workloads",
+        campaign_seed=campaign_seed,
+        experiments=sorted(EXPERIMENTS),
+        scenarios=sorted(SCENARIOS),
+        schedulers=["lowest_rtt"],
+        controllers=["fullmesh"],
+        seeds=1,
+        params={
+            "transfer_bytes": 80_000,
+            "block_count": 4,
+            "request_count": 2,
+            "object_size": 50_000,
+            "message_interval": 2.0,
+            "horizon": 15.0,
+        },
     )
 
 
@@ -110,28 +149,34 @@ def figure_campaigns(campaign_seed: int = 1) -> dict[str, CampaignGrid]:
             seeds=1,
             params={"transfer_bytes": 1_000_000, "subflow_count": 5, "horizon": 40.0},
         ),
-        # Fig 3 measures path-manager signalling delay; its sweep twin runs
-        # the userspace full-mesh manager on the plain dual-path topology.
+        # Fig 3 measures path-manager signalling delay: consecutive HTTP
+        # requests on the LAN topology under the userspace ndiffports
+        # controller — the actual §4.5 workload now that http is a
+        # registered sweep experiment.
         "fig3": CampaignGrid(
             name="fig3",
             campaign_seed=campaign_seed,
-            experiments=["bulk_transfer"],
-            scenarios=["dual_homed"],
+            experiments=["http"],
+            scenarios=["lan"],
             schedulers=["lowest_rtt"],
-            controllers=["fullmesh"],
+            controllers=["userspace_ndiffports"],
             seeds=1,
-            params={"transfer_bytes": 400_000, "horizon": 20.0},
+            params={"request_count": 20, "object_size": 512 * 1024, "horizon": 12.0},
         ),
-        # §4.1: long-lived connection through an aggressive NAT.
+        # §4.1: long-lived connection through an aggressive NAT, repaired
+        # by the userspace full-mesh controller — the actual workload, not
+        # a streaming stand-in.
         "longlived": CampaignGrid(
             name="longlived",
             campaign_seed=campaign_seed,
-            experiments=["streaming"],
+            experiments=["longlived"],
             scenarios=["natted"],
             schedulers=["lowest_rtt"],
-            controllers=["fullmesh"],
+            controllers=["userspace_fullmesh"],
             seeds=1,
-            params={"block_count": 8, "interval": 1.0, "horizon": 30.0},
+            # Message gaps beyond the NAT's 60 s idle timeout, so every
+            # message finds its subflow expired and repaired.
+            params={"message_bytes": 400, "message_interval": 90.0, "horizon": 380.0},
         ),
     }
 
@@ -142,6 +187,7 @@ def named_grid(name: str, campaign_seed: int = 1) -> CampaignGrid:
         "quick": quick_grid,
         "default": default_grid,
         "full": full_grid,
+        "workloads": workloads_grid,
     }
     if name in builders:
         return builders[name](campaign_seed=campaign_seed)

@@ -7,20 +7,20 @@ controller reacts to the ``sub_closed`` events (and to interface up/down
 events) and re-establishes the failed subflows with failure-specific
 back-off timers, so the application's messages keep flowing without any
 per-path keep-alive traffic.
+
+The run is a preset over the unified workload harness: the long-lived
+workload on the NAT scenario under the userspace full-mesh controller,
+with an interface-flap hook exercising the address up/down reactions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 from repro.analysis.report import format_table
-from repro.apps.longlived import LongLivedApp, LongLivedPeer
-from repro.core.controllers import UserspaceFullMeshController
-from repro.core.manager import SmappManager
-from repro.mptcp.config import MptcpConfig
-from repro.mptcp.stack import MptcpStack
 from repro.netem.scenarios import build_natted
-from repro.sim.engine import Simulator
+from repro.workloads import Harness, HarnessSpec
 
 SERVER_PORT = 9001
 
@@ -63,6 +63,17 @@ class LongLivedResult:
         return "\n".join(lines)
 
 
+def _schedule_interface_flap(run, flap_at: float, recover_after: float) -> None:
+    """Hook: take the secondary interface down once, then bring it back.
+
+    Exercises the new_local_addr / del_local_addr reaction of the
+    controller on top of the NAT expiries.
+    """
+    iface = run.scenario.client.interface("if1")
+    run.sim.schedule(flap_at, iface.set_down)
+    run.sim.schedule(flap_at + recover_after, iface.set_up)
+
+
 def run_longlived(
     seed: int = 1,
     duration: float = 900.0,
@@ -72,39 +83,40 @@ def run_longlived(
     interface_recover_after: float = 60.0,
 ) -> LongLivedResult:
     """Run the long-lived-connection experiment."""
-    sim = Simulator(seed=seed)
-    scenario = build_natted(sim, nat_idle_timeout=nat_timeout, nat_sends_rst=True)
+    flaps = 1 if 0 < interface_flap_at < duration else 0
+    hooks = ()
+    if flaps:
+        hooks = (
+            partial(
+                _schedule_interface_flap,
+                flap_at=interface_flap_at,
+                recover_after=interface_recover_after,
+            ),
+        )
 
-    peers: list[LongLivedPeer] = []
-    server_stack = MptcpStack(sim, scenario.server, config=MptcpConfig())
-    server_stack.listen(SERVER_PORT, lambda: peers.append(LongLivedPeer()) or peers[-1])
-
-    manager = SmappManager(sim, scenario.client)
-    controller = manager.attach_controller(UserspaceFullMeshController, reestablish=True)
-
-    app = LongLivedApp(message_bytes=400, message_interval=message_interval)
-    manager.stack.connect(
-        scenario.server_addresses[0],
-        SERVER_PORT,
-        listener=app,
-        local_address=scenario.client_addresses[0],
+    run = Harness().run(
+        HarnessSpec(
+            workload="longlived",
+            scenario=lambda sim: build_natted(
+                sim, nat_idle_timeout=nat_timeout, nat_sends_rst=True
+            ),
+            controller="userspace_fullmesh",
+            seed=seed,
+            horizon=duration,
+            server_port=SERVER_PORT,
+            params={"message_bytes": 400, "message_interval": message_interval},
+            probes=(),
+            hooks=hooks,
+        )
     )
 
-    # Flap the secondary interface once to also exercise the
-    # new_local_addr / del_local_addr reaction of the controller.
-    flaps = 0
-    if 0 < interface_flap_at < duration:
-        flaps = 1
-        sim.schedule(interface_flap_at, scenario.client.interface("if1").set_down)
-        sim.schedule(interface_flap_at + interface_recover_after, scenario.client.interface("if1").set_up)
-
-    sim.run(until=duration)
-
+    controller = run.client.controller
     failures = 0
     for view in controller.state.connections.values():
         failures += sum(1 for flow in view.subflows.values() if flow.closed)
 
-    delivery_times = [record.delivery_time for record in app.messages if record.delivery_time is not None]
+    app = run.driver
+    delivery_times = app.delivery_times()
     return LongLivedResult(
         title="Section 4.1 - long-lived connection across an aggressive NAT",
         duration=duration,
@@ -114,7 +126,7 @@ def run_longlived(
         max_delivery_time=max(delivery_times) if delivery_times else 0.0,
         subflow_failures=failures,
         reestablishments=controller.reestablishments,
-        nat_expired_flows=scenario.nat.expired_flows,
+        nat_expired_flows=run.scenario.nat.expired_flows,
         interface_flaps=flaps,
         notes=[
             "expectation: every message is delivered although the NAT keeps expiring the idle "

@@ -4,11 +4,16 @@ Runs one (or all) of the paper-reproduction experiments and prints the
 text rendering of the corresponding figure.  Scaling options keep the run
 times reasonable on a laptop; EXPERIMENTS.md records both the scaled
 defaults and full-size reference runs.
+
+Beyond the figure presets, ``sweep`` runs a named campaign grid, ``cell``
+runs one arbitrary workload × scenario × controller × scheduler point of
+the harness, and ``list`` prints every registry the grid is built from.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable, Optional, Sequence
@@ -54,6 +59,56 @@ def _run_sweep(args: argparse.Namespace) -> str:
     return format_campaign_report(result)
 
 
+def _run_cell(args: argparse.Namespace) -> str:
+    """Run one harness cell named entirely by registry entries."""
+    from repro.workloads import Harness, HarnessSpec
+
+    params = json.loads(args.params) if args.params else {}
+    run = Harness().run(
+        HarnessSpec(
+            workload=args.workload,
+            scenario=args.scenario,
+            controller=args.controller,
+            scheduler=args.scheduler,
+            seed=args.seed,
+            horizon=args.horizon,
+            params=params,
+        )
+    )
+    key = f"{args.workload}/{args.scenario}/{args.scheduler}/{args.controller}/seed{args.seed}"
+    lines = [f"cell {key}:"]
+    for metric, value in sorted(run.metrics.items()):
+        lines.append(f"  {metric} = {value}")
+    return "\n".join(lines)
+
+
+def _list_registries(args: argparse.Namespace) -> str:
+    """Print every axis of the workload × scenario × controller grid."""
+    from repro.experiments.grids import figure_campaigns
+    from repro.mptcp.scheduler import SCHEDULER_REGISTRY
+    from repro.workloads import CONTROLLERS, PROBES, SCENARIOS, WORKLOADS
+
+    grids = ["quick", "default", "full", "workloads"] + sorted(figure_campaigns())
+    sections = [
+        ("workloads (sweep experiments)", sorted(WORKLOADS)),
+        ("scenarios", sorted(SCENARIOS)),
+        ("controllers", sorted(CONTROLLERS)),
+        ("schedulers", sorted(SCHEDULER_REGISTRY)),
+        ("probes", sorted(PROBES)),
+        ("grids", grids),
+    ]
+    lines = []
+    for title, names in sections:
+        lines.append(f"{title}:")
+        for name in names:
+            lines.append(f"  {name}")
+    lines.append(
+        "any workload x scenario x controller x scheduler combination runs via "
+        "'cell' or as a sweep grid axis"
+    )
+    return "\n".join(lines)
+
+
 EXPERIMENTS: dict[str, Callable[[argparse.Namespace], str]] = {
     "fig2a": _run_fig2a,
     "fig2b": _run_fig2b,
@@ -61,6 +116,8 @@ EXPERIMENTS: dict[str, Callable[[argparse.Namespace], str]] = {
     "fig3": _run_fig3,
     "longlived": _run_longlived,
     "sweep": _run_sweep,
+    "cell": _run_cell,
+    "list": _list_registries,
 }
 
 
@@ -73,7 +130,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all"],
-        help="which figure/section to reproduce",
+        help="which figure/section to reproduce ('sweep' runs a campaign, 'cell' one "
+        "workload/scenario/controller point, 'list' prints the registries)",
     )
     parser.add_argument("--seed", type=int, default=1, help="base random seed")
     parser.add_argument("--baseline", action="store_true", help="fig2a: also simulate the kernel-only backup baseline")
@@ -87,10 +145,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--grid",
         default="default",
-        help="sweep: named campaign grid (quick, default, full, fig2a, fig2b, fig2c, fig3, longlived)",
+        help="sweep: named campaign grid (quick, default, full, workloads, fig2a, fig2b, "
+        "fig2c, fig3, longlived)",
     )
     parser.add_argument("--workers", type=int, default=1, help="sweep: worker processes")
     parser.add_argument("--cache-dir", default=None, help="sweep: directory for the on-disk cell cache")
+    parser.add_argument("--workload", default="bulk_transfer", help="cell: workload registry name")
+    parser.add_argument("--scenario", default="dual_homed", help="cell: scenario registry name")
+    parser.add_argument("--controller", default="passive", help="cell: controller registry name")
+    parser.add_argument("--scheduler", default="lowest_rtt", help="cell: scheduler registry name")
+    parser.add_argument("--horizon", type=float, default=30.0, help="cell: simulated run horizon in seconds")
+    parser.add_argument("--params", default=None, help="cell: workload parameters as a JSON object")
     return parser
 
 
@@ -99,8 +164,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.experiment == "all":
-        # "all" means every paper figure; campaigns are opt-in via "sweep".
-        names = sorted(name for name in EXPERIMENTS if name != "sweep")
+        # "all" means every paper figure; campaigns, single cells and the
+        # registry listing are opt-in via their own subcommands.
+        names = sorted(name for name in EXPERIMENTS if name not in ("sweep", "cell", "list"))
     else:
         names = [args.experiment]
     for name in names:

@@ -135,7 +135,14 @@ class MptcpConnection(SubflowObserver):
         self.remote_address = IPAddress(remote_address)
         self.remote_port = int(remote_port)
 
+        # Live subflows only: closed subflows are compacted out so the
+        # scheduler's per-chunk scan stays proportional to the number of
+        # usable paths, not to the connection's lifetime churn.
         self._subflows: list[Subflow] = []
+        # Every subflow ever created, in id order.  Kept for traces and
+        # post-run analysis; ids are never reused, so ``subflow_by_id``
+        # stays stable across compactions.
+        self._subflow_history: list[Subflow] = []
         self._subflow_by_socket: dict[int, Subflow] = {}
         self._next_subflow_id = 1
 
@@ -192,7 +199,17 @@ class MptcpConnection(SubflowObserver):
     @property
     def subflows(self) -> list[Subflow]:
         """All subflows ever created for this connection (do not mutate)."""
+        return self._subflow_history
+
+    @property
+    def live_subflows(self) -> list[Subflow]:
+        """The not-yet-closed subflows (the scheduler's working set)."""
         return self._subflows
+
+    @property
+    def subflows_created(self) -> int:
+        """Total number of subflows ever created on this connection."""
+        return len(self._subflow_history)
 
     @property
     def active_subflows(self) -> list[Subflow]:
@@ -201,8 +218,10 @@ class MptcpConnection(SubflowObserver):
 
     @property
     def initial_subflow(self) -> Optional[Subflow]:
-        """The MP_CAPABLE subflow, if it still exists."""
-        for flow in self._subflows:
+        """The MP_CAPABLE subflow (looked up in the full history, so it is
+        still reachable after it closed — Figure 2a's failover analysis
+        needs exactly that)."""
+        for flow in self._subflow_history:
             if flow.is_initial:
                 return flow
         return None
@@ -238,8 +257,13 @@ class MptcpConnection(SubflowObserver):
         return dict(self._remote_addresses)
 
     def subflow_by_id(self, subflow_id: int) -> Optional[Subflow]:
-        """Look up a subflow by its connection-local identifier."""
-        for flow in self._subflows:
+        """Look up a subflow by its connection-local identifier.
+
+        Resolves closed subflows too: ids are monotonic and never reused,
+        so traces and controllers can keep referring to departed subflows
+        after compaction.
+        """
+        for flow in self._subflow_history:
             if flow.id == subflow_id:
                 return flow
         return None
@@ -399,8 +423,17 @@ class MptcpConnection(SubflowObserver):
         flow = Subflow(self._next_subflow_id, socket, origin, backup=backup)
         self._next_subflow_id += 1
         self._subflows.append(flow)
+        self._subflow_history.append(flow)
         self._subflow_by_socket[id(socket)] = flow
         return flow
+
+    def _compact_subflow(self, flow: Subflow) -> None:
+        """Drop a closed subflow from the live list (history keeps it)."""
+        try:
+            self._subflows.remove(flow)
+        except ValueError:
+            pass
+        self._subflow_by_socket.pop(id(flow.socket), None)
 
     def _subflow_for(self, socket: TcpSocket) -> Optional[Subflow]:
         return self._subflow_by_socket.get(id(socket))
@@ -566,6 +599,7 @@ class MptcpConnection(SubflowObserver):
         # socket itself is always CLOSED by the time this callback runs.
         already_closed = flow.closed_at is not None
         flow.mark_closed(self._sim.now, reason)
+        self._compact_subflow(flow)
         self._stack.unregister_socket(sock)
         if not already_closed:
             self._stack.notify_subflow_closed(self, flow, reason)
@@ -782,5 +816,6 @@ class MptcpConnection(SubflowObserver):
         role = "client" if self.is_client else "server"
         return (
             f"<MptcpConnection {role} token={self.local_token:#x} "
-            f"subflows={len(self._subflows)} estab={self.established} closed={self.closed}>"
+            f"subflows={len(self._subflows)}/{len(self._subflow_history)} "
+            f"estab={self.established} closed={self.closed}>"
         )

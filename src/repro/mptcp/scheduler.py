@@ -78,11 +78,12 @@ class RoundRobinScheduler(Scheduler):
         )
         if self._last_id is not None and not cursor_alive:
             # The subflow that set the cursor left the connection (the
-            # connection keeps closed subflows in the list, so "left" means
-            # closed or gone).  Restart the rotation rather than resuming
-            # "after" the stale id, which would let a departed high-id
-            # subflow skip the low-id survivors' turns.  (Merely
-            # window-blocked subflows are alive and keep their position.)
+            # connection compacts closed subflows out of the live list, so
+            # "left" usually means absent).  Restart the rotation rather
+            # than resuming "after" the stale id, which would let a
+            # departed high-id subflow skip the low-id survivors' turns.
+            # (Merely window-blocked subflows are alive and keep their
+            # position.)
             self._last_id = None
         if self._last_id is not None:
             for flow in candidates:

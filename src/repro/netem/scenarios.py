@@ -184,6 +184,16 @@ class LanScenario:
         """The simulation engine."""
         return self.topology.sim
 
+    @property
+    def client_addresses(self) -> list[IPAddress]:
+        """Single-element list form (the workload harness's common shape)."""
+        return [self.client_address]
+
+    @property
+    def server_addresses(self) -> list[IPAddress]:
+        """Single-element list form (the workload harness's common shape)."""
+        return [self.server_address]
+
 
 def build_lan(
     sim: Simulator,

@@ -6,6 +6,12 @@ scheduler × controller × seed, expand it into cells, run the cells across
 worker processes (deterministically — see :mod:`repro.sweep.engine`), cache
 completed cells on disk, and aggregate the metrics into percentile tables
 and cross-scenario CDFs.
+
+Cells execute through the unified workload harness
+(:mod:`repro.workloads`): the experiment axis is the workload registry, so
+every registered workload — bulk, streaming, http, longlived — sweeps over
+every registered scenario with the same probe-based metric extraction the
+figure presets use.
 """
 
 from repro.sweep.cache import CellCache

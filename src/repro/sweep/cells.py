@@ -1,229 +1,40 @@
 """The worker side of the sweep engine: run one campaign cell.
 
 :func:`run_cell` is a module-level function over plain dicts so it can be
-shipped to ``ProcessPoolExecutor`` workers by pickle.  Each cell builds its
-own :class:`~repro.sim.engine.Simulator` seeded via
+shipped to ``ProcessPoolExecutor`` workers by pickle.  Each cell is one
+:class:`~repro.workloads.harness.HarnessSpec` — workload × scenario ×
+scheduler × controller, all referenced by registry name — seeded via
 :meth:`CellSpec.cell_seed`, so results are a pure function of the campaign
-seed and the cell coordinates — the engine can run cells in any order, on
+seed and the cell coordinates: the engine can run cells in any order, on
 any number of workers, and still aggregate byte-identical output.
+
+The registries themselves live in :mod:`repro.workloads.registry`; they
+are re-exported here (``SCENARIOS``, ``CONTROLLERS``, ``EXPERIMENTS``) for
+the sweep-facing API.  ``EXPERIMENTS`` is the workload registry: every
+registered workload is a sweep experiment over every registered scenario.
 """
 
 from __future__ import annotations
 
-import hashlib
-from typing import Callable, Mapping
+from typing import Mapping
 
-from repro.apps.bulk import BulkReceiverApp, BulkSenderApp
-from repro.apps.streaming import StreamingSinkApp, StreamingSourceApp
-from repro.core.controllers import RefreshController, SmartBackupController
-from repro.core.manager import SmappManager
-from repro.mptcp.config import MptcpConfig
-from repro.mptcp.path_manager import FullMeshPathManager, NdiffportsPathManager
-from repro.mptcp.stack import MptcpStack
-from repro.net.tracer import PacketTracer
-from repro.netem.scenarios import (
-    build_addaddr_stripped,
-    build_asymmetric_loss,
-    build_bufferbloat_cellular,
-    build_dual_homed,
-    build_ecmp,
-    build_natted,
-    build_path_failure_recovery,
-    build_wifi_lte_handover,
-)
-from repro.sim.engine import Simulator
 from repro.sweep.grid import CellSpec
+from repro.workloads import (
+    CONTROLLERS,
+    DEFAULT_PROBES,
+    SCENARIOS,
+    WORKLOADS,
+    Harness,
+    HarnessSpec,
+    trace_digest,
+)
 
 SERVER_PORT = 9001
 
-# ----------------------------------------------------------------------
-# scenario registry — every entry is ``builder(sim) -> scenario`` where the
-# scenario exposes client / server hosts and per-path address lists.
-# ----------------------------------------------------------------------
-SCENARIOS: dict[str, Callable] = {
-    "dual_homed": build_dual_homed,
-    "natted": build_natted,
-    "ecmp": build_ecmp,
-    "wifi_lte_handover": build_wifi_lte_handover,
-    "asymmetric_loss": build_asymmetric_loss,
-    "bufferbloat_cellular": build_bufferbloat_cellular,
-    "path_failure_recovery": build_path_failure_recovery,
-    "addaddr_stripped": build_addaddr_stripped,
-}
+#: Workloads double as the sweep's experiment axis.
+EXPERIMENTS: Mapping = WORKLOADS
 
-
-# ----------------------------------------------------------------------
-# controller registry — ``setup(sim, scenario, config, params) -> MptcpStack``
-# builds the client-side stack with the requested path-manager/controller.
-# ----------------------------------------------------------------------
-def _passive(sim: Simulator, scenario, config: MptcpConfig, params: Mapping) -> MptcpStack:
-    return MptcpStack(sim, scenario.client, config=config)
-
-
-def _fullmesh(sim: Simulator, scenario, config: MptcpConfig, params: Mapping) -> MptcpStack:
-    return MptcpStack(sim, scenario.client, config=config, path_manager=FullMeshPathManager())
-
-
-def _ndiffports(sim: Simulator, scenario, config: MptcpConfig, params: Mapping) -> MptcpStack:
-    count = int(params.get("subflow_count", 2))
-    return MptcpStack(
-        sim, scenario.client, config=config, path_manager=NdiffportsPathManager(subflow_count=count)
-    )
-
-
-def _smart_backup(sim: Simulator, scenario, config: MptcpConfig, params: Mapping) -> MptcpStack:
-    manager = SmappManager(sim, scenario.client, config=config)
-    # Single-homed scenarios (e.g. ecmp) have no second address; the
-    # controller then fails over onto the same path, which is still a
-    # well-defined — if pointless — configuration.
-    backup_index = min(1, len(scenario.client_addresses) - 1)
-    manager.attach_controller(
-        SmartBackupController,
-        backup_local_address=scenario.client_addresses[backup_index],
-        backup_remote_address=scenario.server_addresses[min(1, len(scenario.server_addresses) - 1)],
-        backup_remote_port=SERVER_PORT,
-        rto_threshold=float(params.get("rto_threshold", 1.0)),
-    )
-    return manager.stack
-
-
-def _refresh(sim: Simulator, scenario, config: MptcpConfig, params: Mapping) -> MptcpStack:
-    manager = SmappManager(sim, scenario.client, config=config)
-    manager.attach_controller(
-        RefreshController,
-        subflow_count=int(params.get("subflow_count", 2)),
-        refresh_interval=float(params.get("refresh_interval", 2.5)),
-    )
-    return manager.stack
-
-
-CONTROLLERS: dict[str, Callable] = {
-    "passive": _passive,
-    "fullmesh": _fullmesh,
-    "ndiffports": _ndiffports,
-    "smart_backup": _smart_backup,
-    "refresh": _refresh,
-}
-
-
-# ----------------------------------------------------------------------
-# trace digesting
-# ----------------------------------------------------------------------
-def trace_digest(tracer: PacketTracer) -> str:
-    """A stable digest of everything the tracer captured.
-
-    Two runs are byte-identical iff every captured segment matches in time,
-    location, TCP header fields and carried option types — the signal the
-    determinism regression tests key on.
-    """
-    digest = hashlib.sha256()
-    for record in tracer.records:
-        segment = record.segment
-        option_names = ",".join(type(option).__name__ for option in segment.options)
-        digest.update(
-            (
-                f"{record.time!r}|{record.link}|{record.from_iface}>{record.to_iface}|"
-                f"{segment.src}:{segment.sport}>{segment.dst}:{segment.dport}|"
-                f"seq={segment.seq} ack={segment.ack} flags={int(segment.flags)} "
-                f"len={segment.payload_len}|{option_names}\n"
-            ).encode("utf-8")
-        )
-    return digest.hexdigest()
-
-
-# ----------------------------------------------------------------------
-# experiments
-# ----------------------------------------------------------------------
-def _run_bulk_transfer(sim: Simulator, scenario, spec: CellSpec) -> dict:
-    params = spec.param_dict
-    transfer_bytes = int(params.get("transfer_bytes", 200_000))
-    horizon = float(params.get("horizon", 30.0))
-
-    tracer = scenario.topology.add_tracer("sweep")
-    config = MptcpConfig(scheduler=spec.scheduler)
-
-    receivers: list[BulkReceiverApp] = []
-
-    def receiver_factory() -> BulkReceiverApp:
-        receiver = BulkReceiverApp(expected_bytes=transfer_bytes)
-        receivers.append(receiver)
-        return receiver
-
-    MptcpStack(sim, scenario.server, config=config).listen(SERVER_PORT, receiver_factory)
-    client_stack = CONTROLLERS[spec.controller](sim, scenario, config, params)
-
-    sender = BulkSenderApp(transfer_bytes, close_when_done=True)
-    conn = client_stack.connect(
-        scenario.server_addresses[0],
-        SERVER_PORT,
-        listener=sender,
-        local_address=scenario.client_addresses[0],
-    )
-    sim.run(until=horizon)
-
-    delivered = sum(receiver.received_bytes for receiver in receivers)
-    completion = sender.completion_time
-    elapsed = completion if completion is not None else horizon
-    return {
-        "completion_time": completion,
-        "bytes_delivered": delivered,
-        "goodput_mbps": (delivered * 8 / elapsed / 1e6) if elapsed > 0 else 0.0,
-        "subflows_created": len(conn.subflows),
-        "subflows_used": sum(1 for flow in conn.subflows if flow.bytes_scheduled > 0),
-        "trace_packets": len(tracer),
-        "trace_digest": trace_digest(tracer),
-    }
-
-
-def _run_streaming(sim: Simulator, scenario, spec: CellSpec) -> dict:
-    params = spec.param_dict
-    block_bytes = int(params.get("block_bytes", 32 * 1024))
-    interval = float(params.get("interval", 0.5))
-    block_count = int(params.get("block_count", 10))
-    horizon = float(params.get("horizon", 30.0))
-
-    tracer = scenario.topology.add_tracer("sweep")
-    config = MptcpConfig(scheduler=spec.scheduler)
-
-    sinks: list[StreamingSinkApp] = []
-
-    def sink_factory() -> StreamingSinkApp:
-        sink = StreamingSinkApp(block_bytes=block_bytes, interval=interval)
-        sinks.append(sink)
-        return sink
-
-    MptcpStack(sim, scenario.server, config=config).listen(SERVER_PORT, sink_factory)
-    client_stack = CONTROLLERS[spec.controller](sim, scenario, config, params)
-
-    source = StreamingSourceApp(
-        block_bytes=block_bytes, interval=interval, block_count=block_count, close_when_done=True
-    )
-    conn = client_stack.connect(
-        scenario.server_addresses[0],
-        SERVER_PORT,
-        listener=source,
-        local_address=scenario.client_addresses[0],
-    )
-    sim.run(until=horizon)
-
-    delays = sinks[0].completion_times() if sinks else []
-    late = sinks[0].late_blocks(interval) if sinks else block_count
-    return {
-        "blocks_delivered": len(delays),
-        "block_delay_mean": (sum(delays) / len(delays)) if delays else None,
-        "block_delay_max": max(delays) if delays else None,
-        "late_blocks": late,
-        "subflows_created": len(conn.subflows),
-        "subflows_used": sum(1 for flow in conn.subflows if flow.bytes_scheduled > 0),
-        "trace_packets": len(tracer),
-        "trace_digest": trace_digest(tracer),
-    }
-
-
-EXPERIMENTS: dict[str, Callable] = {
-    "bulk_transfer": _run_bulk_transfer,
-    "streaming": _run_streaming,
-}
+__all__ = ["SCENARIOS", "CONTROLLERS", "EXPERIMENTS", "SERVER_PORT", "run_cell", "trace_digest"]
 
 
 # ----------------------------------------------------------------------
@@ -232,18 +43,31 @@ EXPERIMENTS: dict[str, Callable] = {
 def run_cell(spec_dict: Mapping, campaign_seed: int) -> dict:
     """Execute one campaign cell and return its metrics as a plain dict."""
     spec = CellSpec.from_dict(spec_dict)
-    try:
-        experiment = EXPERIMENTS[spec.experiment]
-        builder = SCENARIOS[spec.scenario]
-    except KeyError as error:
-        raise ValueError(f"cell {spec.key!r} references an unknown registry entry") from error
+    if (
+        spec.experiment not in WORKLOADS
+        or spec.scenario not in SCENARIOS
+        or spec.controller not in CONTROLLERS
+    ):
+        raise ValueError(f"cell {spec.key!r} references an unknown registry entry")
 
-    sim = Simulator(seed=spec.cell_seed(campaign_seed))
-    scenario = builder(sim)
-    metrics = experiment(sim, scenario, spec)
+    params = spec.param_dict
+    run = Harness().run(
+        HarnessSpec(
+            workload=spec.experiment,
+            scenario=spec.scenario,
+            controller=spec.controller,
+            scheduler=spec.scheduler,
+            seed=spec.cell_seed(campaign_seed),
+            horizon=float(params.get("horizon", 30.0)),
+            server_port=SERVER_PORT,
+            params=params,
+            probes=DEFAULT_PROBES,
+        )
+    )
+    metrics = dict(run.metrics)
     # Long-lived runs leave cancelled timers behind; compacting here keeps
     # the accounting honest and exercises the reclamation path every cell.
-    metrics["events_processed"] = sim.processed_events
-    metrics["events_compacted"] = sim.compact()
-    metrics["sim_time_end"] = sim.now
+    metrics["events_processed"] = run.sim.processed_events
+    metrics["events_compacted"] = run.sim.compact()
+    metrics["sim_time_end"] = run.sim.now
     return metrics

@@ -19,8 +19,9 @@ from typing import Iterator, Mapping, Optional, Sequence
 from repro.sim.randomness import derive_seed
 
 # Bump when the cell runner's semantics change in a way that invalidates
-# previously cached results.
-SWEEP_FORMAT_VERSION = 1
+# previously cached results.  Version 2: cells run through the unified
+# workload harness (probe-based metrics, http/longlived experiments).
+SWEEP_FORMAT_VERSION = 2
 
 
 def _freeze_params(params: Optional[Mapping[str, object]]) -> tuple[tuple[str, object], ...]:
@@ -162,7 +163,9 @@ class CampaignGrid:
         """Check every axis value against the runtime registries.
 
         Imported lazily to keep the grid module free of simulator
-        dependencies (grids are cheap to build in tools and tests).
+        dependencies (grids are cheap to build in tools and tests).  The
+        experiment axis is the workload registry: every registered
+        workload is sweepable.
         """
         from repro.mptcp.scheduler import SCHEDULER_REGISTRY
         from repro.sweep.cells import CONTROLLERS, EXPERIMENTS, SCENARIOS

@@ -16,6 +16,8 @@ from repro.sweep.engine import CampaignResult
 HEADLINE_METRICS = {
     "bulk_transfer": ("completion_time", "s"),
     "streaming": ("block_delay_mean", "s"),
+    "http": ("request_time_mean", "s"),
+    "longlived": ("delivery_time_max", "s"),
 }
 
 

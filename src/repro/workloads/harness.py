@@ -1,0 +1,195 @@
+"""The unified workload harness.
+
+One :class:`HarnessSpec` names a point of the orthogonal grid — scenario ×
+client stack (controller) × workload × scheduler × seed — plus the probes
+to measure it with; :class:`Harness` assembles and runs it.  The figure
+presets in :mod:`repro.experiments` and the sweep cell runner in
+:mod:`repro.sweep.cells` are both thin layers over this one composition,
+so the same run order (and therefore the same deterministic trace) backs
+both.
+
+Axis values may be registry names (the sweep path: everything stays
+picklable) or ready callables/instances (the figure path: presets inject
+bespoke scenario parameters, latency-calibrated managers and hooks without
+losing the shared assembly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence, Union
+
+from repro.mptcp.config import MptcpConfig
+from repro.mptcp.connection import MptcpConnection
+from repro.mptcp.stack import MptcpStack
+from repro.sim.engine import Simulator
+from repro.workloads.base import (
+    ClientSetup,
+    HarnessContext,
+    Workload,
+    resolve_client_setup,
+)
+from repro.workloads.probes import DEFAULT_PROBES, Probe, make_probe
+from repro.workloads.registry import CONTROLLERS, SCENARIOS, get_workload
+
+#: Default server port of harness runs (kept from the sweep cell runner).
+DEFAULT_SERVER_PORT = 9001
+
+ScenarioSpec = Union[str, Callable[[Simulator], Any]]
+ControllerSpec = Union[str, Callable[[HarnessContext], ClientSetup]]
+WorkloadSpec = Union[str, Workload]
+
+
+@dataclass
+class HarnessSpec:
+    """One fully described harness run."""
+
+    workload: WorkloadSpec = "bulk_transfer"
+    scenario: ScenarioSpec = "dual_homed"
+    controller: ControllerSpec = "passive"
+    scheduler: str = "lowest_rtt"
+    seed: int = 1
+    horizon: float = 30.0
+    server_port: int = DEFAULT_SERVER_PORT
+    params: Mapping[str, Any] = field(default_factory=dict)
+    probes: Sequence[Union[str, Probe]] = DEFAULT_PROBES
+    hooks: Sequence[Callable[["HarnessRun"], None]] = ()
+    """Callbacks run after the client started, before ``sim.run`` — the
+    place to schedule mid-run events (loss onset, interface flaps)."""
+
+
+@dataclass
+class HarnessRun:
+    """A finished (or about-to-run) harness composition."""
+
+    spec: HarnessSpec
+    sim: Simulator
+    scenario: Any
+    config: MptcpConfig
+    params: dict[str, Any]
+    workload: Workload
+    client: ClientSetup
+    driver: Any
+    connection: Optional[MptcpConnection]
+    server_apps: list
+    probes: dict[str, Probe]
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    def probe(self, name: str) -> Probe:
+        """Look up one of the run's probes by registry name."""
+        try:
+            return self.probes[name]
+        except KeyError:
+            raise KeyError(
+                f"run has no probe {name!r} (have {sorted(self.probes)})"
+            ) from None
+
+
+class Harness:
+    """Compose scenario × controller × workload × probes into one run.
+
+    The assembly order is fixed and mirrors the hand-wired figure scripts
+    this layer replaced: simulator, scenario, probes, server stack, client
+    stack, workload start, hooks, run, collect.  Keeping that order is what
+    lets the refactored figure presets reproduce their original reports
+    byte for byte.
+    """
+
+    def __init__(
+        self,
+        scenarios: Optional[Mapping[str, Callable]] = None,
+        controllers: Optional[Mapping[str, Callable]] = None,
+    ) -> None:
+        self._scenarios = scenarios if scenarios is not None else SCENARIOS
+        self._controllers = controllers if controllers is not None else CONTROLLERS
+
+    # ------------------------------------------------------------------
+    # axis resolution
+    # ------------------------------------------------------------------
+    def _resolve_scenario(self, entry: ScenarioSpec) -> Callable[[Simulator], Any]:
+        if callable(entry):
+            return entry
+        try:
+            return self._scenarios[entry]
+        except KeyError:
+            raise ValueError(
+                f"unknown scenario {entry!r} (have {sorted(self._scenarios)})"
+            ) from None
+
+    def _resolve_controller(self, entry: ControllerSpec) -> Callable[[HarnessContext], Any]:
+        if callable(entry):
+            return entry
+        try:
+            return self._controllers[entry]
+        except KeyError:
+            raise ValueError(
+                f"unknown controller {entry!r} (have {sorted(self._controllers)})"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # the composition
+    # ------------------------------------------------------------------
+    def run(self, spec: HarnessSpec) -> HarnessRun:
+        """Build and run one cell of the grid; returns the finished run."""
+        workload = get_workload(spec.workload)
+        params: dict[str, Any] = {**workload.default_params, **dict(spec.params)}
+
+        sim = Simulator(seed=spec.seed)
+        scenario = self._resolve_scenario(spec.scenario)(sim)
+        config = MptcpConfig(scheduler=spec.scheduler)
+        ctx = HarnessContext(
+            sim=sim,
+            scenario=scenario,
+            config=config,
+            params=params,
+            server_port=spec.server_port,
+        )
+
+        probes: dict[str, Probe] = {}
+        for entry in spec.probes:
+            probe = make_probe(entry)
+            if probe.name in probes:
+                raise ValueError(f"duplicate probe {probe.name!r} in spec")
+            probe.attach(ctx)
+            probes[probe.name] = probe
+
+        server_apps: list = []
+
+        def server_factory():
+            app = workload.server_app(ctx)
+            server_apps.append(app)
+            return app
+
+        server_stack = MptcpStack(sim, scenario.server, config=config)
+        server_stack.listen(spec.server_port, server_factory)
+
+        client = resolve_client_setup(self._resolve_controller(spec.controller)(ctx))
+        driver, connection = workload.start(ctx, client.stack)
+
+        run = HarnessRun(
+            spec=spec,
+            sim=sim,
+            scenario=scenario,
+            config=config,
+            params=params,
+            workload=workload,
+            client=client,
+            driver=driver,
+            connection=connection,
+            server_apps=server_apps,
+            probes=probes,
+        )
+        for hook in spec.hooks:
+            hook(run)
+
+        sim.run(until=spec.horizon)
+
+        run.metrics = dict(workload.collect(run))
+        for probe in probes.values():
+            run.metrics.update(probe.collect(run))
+        return run
+
+
+def run_workload(spec: HarnessSpec) -> HarnessRun:
+    """Run one harness composition against the global registries."""
+    return Harness().run(spec)

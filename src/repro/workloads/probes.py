@@ -1,0 +1,193 @@
+"""Pluggable metric probes.
+
+A probe is the measurement half of a harness run: it attaches to the
+scenario before any traffic flows (e.g. installing a packet tracer) and
+reduces the finished run to a flat metrics dict.  The same probes feed the
+figure reports (which want the rich objects — sequence traces, raw delay
+lists) and the sweep aggregation (which wants deterministic scalars), so
+per-script ad-hoc extraction is gone: an experiment picks probes, it does
+not re-implement them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
+
+from repro.analysis.trace import (
+    SubflowSequenceTrace,
+    extract_sequence_trace,
+    payload_byte_totals,
+    syn_join_delays,
+)
+from repro.net.tracer import PacketTracer
+from repro.workloads.base import HarnessContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workloads.harness import HarnessRun
+
+
+def trace_digest(tracer: PacketTracer) -> str:
+    """A stable digest of everything the tracer captured.
+
+    Two runs are byte-identical iff every captured segment matches in time,
+    location, TCP header fields and carried option types — the signal the
+    determinism regression tests key on.
+    """
+    digest = hashlib.sha256()
+    for record in tracer.records:
+        segment = record.segment
+        option_names = ",".join(type(option).__name__ for option in segment.options)
+        digest.update(
+            (
+                f"{record.time!r}|{record.link}|{record.from_iface}>{record.to_iface}|"
+                f"{segment.src}:{segment.sport}>{segment.dst}:{segment.dport}|"
+                f"seq={segment.seq} ack={segment.ack} flags={int(segment.flags)} "
+                f"len={segment.payload_len}|{option_names}\n"
+            ).encode("utf-8")
+        )
+    return digest.hexdigest()
+
+
+class Probe(ABC):
+    """Measurement hooks around one harness run.
+
+    ``attach`` runs right after the scenario is built (before any stack
+    exists); ``collect`` runs after ``sim.run`` returned and must yield a
+    JSON-serialisable dict — the sweep engine's canonical output surface.
+    Values are usually scalars; structured values (e.g. the per-subflow
+    byte dict) are allowed and simply skipped by the numeric aggregation
+    in :mod:`repro.analysis.aggregate`.
+    """
+
+    name = "abstract"
+
+    def attach(self, ctx: HarnessContext) -> None:
+        """Install instrumentation into the freshly built scenario."""
+
+    def collect(self, run: "HarnessRun") -> dict[str, Any]:
+        """Reduce the finished run to scalar metrics."""
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Probe {self.name}>"
+
+
+class TraceProbe(Probe):
+    """Packet capture: digest + packet count, plus rich per-figure views.
+
+    The scalar side (``trace_packets``, ``trace_digest``) is what the sweep
+    determinism suite compares across worker counts; the rich side
+    (:meth:`sequence_trace`, :meth:`syn_join_delays`) is what Figures 2a
+    and 3 are drawn from.
+    """
+
+    name = "trace"
+
+    def __init__(
+        self,
+        tracer_name: str = "sweep",
+        links: Optional[Sequence[str]] = None,
+    ) -> None:
+        self._tracer_name = tracer_name
+        self._links = list(links) if links is not None else None
+        self.tracer: Optional[PacketTracer] = None
+
+    def attach(self, ctx: HarnessContext) -> None:
+        self.tracer = ctx.scenario.topology.add_tracer(self._tracer_name, self._links)
+
+    def collect(self, run: "HarnessRun") -> dict[str, Any]:
+        assert self.tracer is not None, "TraceProbe.collect before attach"
+        return {
+            "trace_packets": len(self.tracer),
+            "trace_digest": trace_digest(self.tracer),
+            # Wire-level payload bytes; against the workload's delivered
+            # bytes this exposes the retransmission overhead of the run.
+            "trace_data_bytes": sum(payload_byte_totals(self.tracer).values()),
+        }
+
+    # -- figure-facing views -------------------------------------------
+    def sequence_trace(self, source_address=None) -> SubflowSequenceTrace:
+        """The Figure 2a data set (sequence progress per subflow)."""
+        assert self.tracer is not None, "TraceProbe used before attach"
+        return extract_sequence_trace(self.tracer, source_address)
+
+    def syn_join_delays(self) -> list[float]:
+        """The Figure 3 data set (MP_CAPABLE-SYN to MP_JOIN-SYN delays)."""
+        assert self.tracer is not None, "TraceProbe used before attach"
+        return syn_join_delays(self.tracer)
+
+    def payload_byte_totals(self):
+        """Wire payload bytes per four-tuple (see analysis.trace)."""
+        assert self.tracer is not None, "TraceProbe used before attach"
+        return payload_byte_totals(self.tracer)
+
+
+class GoodputProbe(Probe):
+    """Application-level goodput from the workload's delivery accounting."""
+
+    name = "goodput"
+
+    def collect(self, run: "HarnessRun") -> dict[str, Any]:
+        delivered = run.workload.delivered_bytes(run)
+        elapsed = run.workload.elapsed(run)
+        goodput = None
+        if delivered is not None:
+            goodput = (delivered * 8 / elapsed / 1e6) if elapsed > 0 else 0.0
+        return {"goodput_mbps": goodput}
+
+
+class SubflowProbe(Probe):
+    """Per-subflow byte accounting of the workload's primary connection."""
+
+    name = "subflows"
+
+    def collect(self, run: "HarnessRun") -> dict[str, Any]:
+        metrics: dict[str, Any] = {
+            "connections_initiated": run.client.stack.connections_initiated,
+        }
+        conn = run.connection
+        if conn is not None:
+            flows = conn.subflows
+            metrics["subflows_created"] = len(flows)
+            metrics["subflows_used"] = sum(1 for flow in flows if flow.bytes_scheduled > 0)
+            metrics["subflow_bytes"] = {str(flow.id): flow.bytes_scheduled for flow in flows}
+            metrics["reinjected_bytes"] = sum(flow.reinjected_bytes for flow in flows)
+        return metrics
+
+
+class AppLatencyProbe(Probe):
+    """Summary of the workload's per-unit latencies (blocks, requests, messages)."""
+
+    name = "app_latency"
+
+    def collect(self, run: "HarnessRun") -> dict[str, Any]:
+        samples = run.workload.app_latencies(run)
+        return {
+            "app_samples": len(samples),
+            "app_latency_mean": (sum(samples) / len(samples)) if samples else None,
+            "app_latency_max": max(samples) if samples else None,
+        }
+
+
+#: Probe factories by registry name (the sweep cell runner's default set).
+PROBES: dict[str, Callable[[], Probe]] = {
+    "trace": TraceProbe,
+    "goodput": GoodputProbe,
+    "subflows": SubflowProbe,
+    "app_latency": AppLatencyProbe,
+}
+
+#: The probes every sweep cell runs, in collection order.
+DEFAULT_PROBES: tuple[str, ...] = ("trace", "goodput", "subflows", "app_latency")
+
+
+def make_probe(entry) -> Probe:
+    """Resolve a probe spec entry (registry name or ready instance)."""
+    if isinstance(entry, Probe):
+        return entry
+    try:
+        return PROBES[entry]()
+    except KeyError:
+        raise ValueError(f"unknown probe {entry!r} (have {sorted(PROBES)})") from None

@@ -1,0 +1,178 @@
+"""The composition registries: scenario × controller × workload × probe.
+
+Every axis of the orthogonal grid lives here.  Scenario builders come from
+:mod:`repro.netem.scenarios`; controller entries build the client-side
+transport (in-kernel path manager or SMAPP userspace controller); workloads
+register themselves from :mod:`repro.workloads.catalog`.  The sweep grid
+validation, the harness and the runner's ``list`` subcommand all read the
+same dicts, so registering a new entry makes it sweepable, runnable and
+discoverable at once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.controllers import (
+    RefreshController,
+    SmartBackupController,
+    UserspaceFullMeshController,
+    UserspaceNdiffportsController,
+)
+from repro.core.manager import SmappManager
+from repro.mptcp.path_manager import FullMeshPathManager, NdiffportsPathManager
+from repro.mptcp.stack import MptcpStack
+from repro.netem.scenarios import (
+    build_addaddr_stripped,
+    build_asymmetric_loss,
+    build_bufferbloat_cellular,
+    build_dual_homed,
+    build_ecmp,
+    build_lan,
+    build_natted,
+    build_path_failure_recovery,
+    build_wifi_lte_handover,
+)
+from repro.workloads.base import ClientSetup, HarnessContext, Workload
+
+# ----------------------------------------------------------------------
+# scenario registry — every entry is ``builder(sim) -> scenario`` where the
+# scenario exposes client / server hosts and per-path address lists.
+# ----------------------------------------------------------------------
+SCENARIOS: dict[str, Callable] = {
+    "dual_homed": build_dual_homed,
+    "natted": build_natted,
+    "ecmp": build_ecmp,
+    "lan": build_lan,
+    "wifi_lte_handover": build_wifi_lte_handover,
+    "asymmetric_loss": build_asymmetric_loss,
+    "bufferbloat_cellular": build_bufferbloat_cellular,
+    "path_failure_recovery": build_path_failure_recovery,
+    "addaddr_stripped": build_addaddr_stripped,
+}
+
+
+def register_scenario(name: str, builder: Callable) -> None:
+    """Register a scenario builder under a new grid-axis name."""
+    if name in SCENARIOS:
+        raise ValueError(f"scenario {name!r} is already registered")
+    SCENARIOS[name] = builder
+
+
+# ----------------------------------------------------------------------
+# controller registry — ``setup(ctx) -> ClientSetup`` builds the client-side
+# stack with the requested path manager or userspace controller.
+# ----------------------------------------------------------------------
+def _passive(ctx: HarnessContext) -> ClientSetup:
+    return ClientSetup(MptcpStack(ctx.sim, ctx.scenario.client, config=ctx.config))
+
+
+def _fullmesh(ctx: HarnessContext) -> ClientSetup:
+    return ClientSetup(
+        MptcpStack(
+            ctx.sim, ctx.scenario.client, config=ctx.config, path_manager=FullMeshPathManager()
+        )
+    )
+
+
+def _ndiffports(ctx: HarnessContext) -> ClientSetup:
+    count = int(ctx.params.get("subflow_count", 2))
+    return ClientSetup(
+        MptcpStack(
+            ctx.sim,
+            ctx.scenario.client,
+            config=ctx.config,
+            path_manager=NdiffportsPathManager(subflow_count=count),
+        )
+    )
+
+
+def _smart_backup(ctx: HarnessContext) -> ClientSetup:
+    scenario = ctx.scenario
+    manager = SmappManager(ctx.sim, scenario.client, config=ctx.config)
+    # Single-homed scenarios (e.g. ecmp) have no second address; the
+    # controller then fails over onto the same path, which is still a
+    # well-defined — if pointless — configuration.
+    backup_index = min(1, len(scenario.client_addresses) - 1)
+    controller = manager.attach_controller(
+        SmartBackupController,
+        backup_local_address=scenario.client_addresses[backup_index],
+        backup_remote_address=scenario.server_addresses[
+            min(1, len(scenario.server_addresses) - 1)
+        ],
+        backup_remote_port=ctx.server_port,
+        rto_threshold=float(ctx.params.get("rto_threshold", 1.0)),
+    )
+    return ClientSetup(manager.stack, manager=manager, controller=controller)
+
+
+def _refresh(ctx: HarnessContext) -> ClientSetup:
+    manager = SmappManager(ctx.sim, ctx.scenario.client, config=ctx.config)
+    controller = manager.attach_controller(
+        RefreshController,
+        subflow_count=int(ctx.params.get("subflow_count", 2)),
+        refresh_interval=float(ctx.params.get("refresh_interval", 2.5)),
+    )
+    return ClientSetup(manager.stack, manager=manager, controller=controller)
+
+
+def _userspace_fullmesh(ctx: HarnessContext) -> ClientSetup:
+    manager = SmappManager(ctx.sim, ctx.scenario.client, config=ctx.config)
+    controller = manager.attach_controller(
+        UserspaceFullMeshController,
+        reestablish=bool(ctx.params.get("reestablish", True)),
+    )
+    return ClientSetup(manager.stack, manager=manager, controller=controller)
+
+
+def _userspace_ndiffports(ctx: HarnessContext) -> ClientSetup:
+    manager = SmappManager(ctx.sim, ctx.scenario.client, config=ctx.config)
+    controller = manager.attach_controller(
+        UserspaceNdiffportsController,
+        subflow_count=int(ctx.params.get("subflow_count", 2)),
+    )
+    return ClientSetup(manager.stack, manager=manager, controller=controller)
+
+
+CONTROLLERS: dict[str, Callable[[HarnessContext], ClientSetup]] = {
+    "passive": _passive,
+    "fullmesh": _fullmesh,
+    "ndiffports": _ndiffports,
+    "smart_backup": _smart_backup,
+    "refresh": _refresh,
+    "userspace_fullmesh": _userspace_fullmesh,
+    "userspace_ndiffports": _userspace_ndiffports,
+}
+
+
+def register_controller(name: str, setup: Callable[[HarnessContext], ClientSetup]) -> None:
+    """Register a client-stack setup under a new grid-axis name."""
+    if name in CONTROLLERS:
+        raise ValueError(f"controller {name!r} is already registered")
+    CONTROLLERS[name] = setup
+
+
+# ----------------------------------------------------------------------
+# workload registry — populated by repro.workloads.catalog at import time.
+# ----------------------------------------------------------------------
+WORKLOADS: dict[str, Workload] = {}
+
+
+def register_workload(workload: Workload) -> Workload:
+    """Register a workload instance under its ``name``."""
+    if workload.name in WORKLOADS:
+        raise ValueError(f"workload {workload.name!r} is already registered")
+    WORKLOADS[workload.name] = workload
+    return workload
+
+
+def get_workload(name_or_workload) -> Workload:
+    """Resolve a workload spec entry (registry name or ready instance)."""
+    if isinstance(name_or_workload, Workload):
+        return name_or_workload
+    try:
+        return WORKLOADS[name_or_workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name_or_workload!r} (have {sorted(WORKLOADS)})"
+        ) from None

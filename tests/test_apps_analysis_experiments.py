@@ -203,3 +203,24 @@ class TestExperimentsSmall:
     def test_runner_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nope"])
+
+    def test_runner_list_prints_every_registry(self, capsys):
+        assert runner_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for section in ("workloads", "scenarios:", "controllers:", "schedulers:", "probes:", "grids:"):
+            assert section in out
+        for name in ("http", "longlived", "asymmetric_loss", "userspace_fullmesh", "workloads"):
+            assert name in out
+
+    def test_runner_cell_runs_one_harness_point(self, capsys):
+        assert runner_main([
+            "cell",
+            "--workload", "http",
+            "--scenario", "dual_homed",
+            "--controller", "fullmesh",
+            "--horizon", "10",
+            "--params", '{"request_count": 1, "object_size": 20000}',
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cell http/dual_homed/lowest_rtt/fullmesh/seed1" in out
+        assert "requests_completed = 1" in out

@@ -127,6 +127,59 @@ class TestSubflowManagement:
         server_conn = rig.server_stack.connections[0]
         assert len(server_conn.subflows) == 2
 
+    def test_closed_subflows_are_compacted_out_of_the_live_list(self):
+        rig = build_dual_homed_rig(client_pm=FullMeshPathManager())
+        app, conn = rig.connect_recording()
+        rig.sim.run(until=1.0)
+        created = len(conn.subflows)
+        assert created >= 2
+        extra = [flow for flow in conn.subflows if not flow.is_initial][0]
+        conn.remove_subflow(extra, reset=True)
+        rig.sim.run(until=2.0)
+        # The live list shrank; the history (and the created-count) did not.
+        assert extra not in conn.live_subflows
+        assert extra in conn.subflows
+        assert len(conn.subflows) == conn.subflows_created == created
+        assert all(not flow.is_closed for flow in conn.live_subflows)
+
+    def test_subflow_by_id_stays_stable_across_compaction(self):
+        rig = build_dual_homed_rig(client_pm=FullMeshPathManager())
+        app, conn = rig.connect_recording()
+        rig.sim.run(until=1.0)
+        extra = [flow for flow in conn.subflows if not flow.is_initial][0]
+        extra_id = extra.id
+        conn.remove_subflow(extra, reset=True)
+        rig.sim.run(until=2.0)
+        # Ids are never reused and closed subflows stay resolvable, so
+        # trace post-processing can keep referring to departed subflows.
+        assert conn.subflow_by_id(extra_id) is extra
+        replacement = conn.create_subflow(
+            rig.client_addresses[1],
+            remote_address=rig.server_addresses[1],
+            remote_port=SERVER_PORT,
+        )
+        rig.sim.run(until=3.0)
+        assert replacement is not None and replacement.id != extra_id
+
+    def test_churn_does_not_grow_the_live_list(self):
+        rig = build_dual_homed_rig()
+        app, conn = rig.connect_recording()
+        rig.sim.run(until=1.0)
+        for round_index in range(5):
+            flow = conn.create_subflow(
+                rig.client_addresses[1],
+                remote_address=rig.server_addresses[1],
+                remote_port=SERVER_PORT,
+            )
+            rig.sim.run(until=rig.sim.now + 0.5)
+            assert flow is not None and flow.is_established
+            conn.remove_subflow(flow, reset=True)
+            rig.sim.run(until=rig.sim.now + 0.5)
+        # 1 initial + 5 churned in history, but only the initial stays live.
+        assert conn.subflows_created == 6
+        assert len(conn.live_subflows) == 1
+        assert conn.live_subflows[0].is_initial
+
     def test_create_subflow_before_established_returns_none(self):
         rig = build_dual_homed_rig()
         app, conn = rig.connect_recording()

@@ -109,10 +109,12 @@ class TestCache:
 
 class TestRegistries:
     def test_registry_contents(self):
-        assert set(EXPERIMENTS) == {"bulk_transfer", "streaming"}
-        assert {"dual_homed", "natted", "ecmp", "wifi_lte_handover", "asymmetric_loss",
+        # Every registered workload doubles as a sweep experiment.
+        assert set(EXPERIMENTS) == {"bulk_transfer", "streaming", "http", "longlived"}
+        assert {"dual_homed", "natted", "ecmp", "lan", "wifi_lte_handover", "asymmetric_loss",
                 "bufferbloat_cellular", "path_failure_recovery", "addaddr_stripped"} <= set(SCENARIOS)
-        assert {"passive", "fullmesh", "ndiffports", "smart_backup", "refresh"} <= set(CONTROLLERS)
+        assert {"passive", "fullmesh", "ndiffports", "smart_backup", "refresh",
+                "userspace_fullmesh", "userspace_ndiffports"} <= set(CONTROLLERS)
         # Grid validation accepts every registered scheduler.
         tiny_grid(schedulers=sorted(SCHEDULER_REGISTRY)).validate()
 
@@ -195,17 +197,18 @@ class TestReport:
 class TestRunnerIntegration:
     def test_all_excludes_the_sweep_campaign(self, monkeypatch):
         """`smapp-experiments all` reproduces the paper figures only; the
-        sweep is opt-in."""
+        sweep, the single-cell runner and the registry listing are opt-in."""
         from repro.experiments import runner
 
+        opt_in = {"sweep", "cell", "list"}
         ran = []
         monkeypatch.setattr(
             runner, "EXPERIMENTS", {name: lambda args, name=name: ran.append(name) or ""
                                     for name in runner.EXPERIMENTS}
         )
         assert runner.main(["all"]) == 0
-        assert "sweep" not in ran
-        assert ran == sorted(name for name in runner.EXPERIMENTS if name != "sweep")
+        assert not opt_in & set(ran)
+        assert ran == sorted(name for name in runner.EXPERIMENTS if name not in opt_in)
 
     def test_import_error_during_pool_setup_falls_back(self, monkeypatch):
         import concurrent.futures

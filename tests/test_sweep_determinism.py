@@ -28,6 +28,25 @@ def acceptance_grid() -> CampaignGrid:
     )
 
 
+def workload_acceptance_grid() -> CampaignGrid:
+    """The heavier workloads (http, longlived) across the lossy scenarios."""
+    return CampaignGrid(
+        name="acceptance-workloads",
+        campaign_seed=42,
+        experiments=["http", "longlived"],
+        scenarios=["dual_homed", "asymmetric_loss", "path_failure_recovery"],
+        schedulers=["lowest_rtt"],
+        controllers=["fullmesh", "userspace_fullmesh"],
+        seeds=2,
+        params={
+            "request_count": 2,
+            "object_size": 40_000,
+            "message_interval": 2.0,
+            "horizon": 15.0,
+        },
+    )
+
+
 class TestCampaignWorkerIndependence:
     def test_serial_two_and_four_workers_are_byte_identical(self):
         grid = acceptance_grid()
@@ -37,6 +56,20 @@ class TestCampaignWorkerIndependence:
         four = run_campaign(grid, workers=4)
         assert serial.to_canonical_json() == two.to_canonical_json()
         assert serial.to_canonical_json() == four.to_canonical_json()
+
+    def test_http_and_longlived_cells_are_worker_count_independent(self):
+        """The unified harness keeps the byte-identity contract for the
+        workloads it newly opened to the sweep engine."""
+        grid = workload_acceptance_grid()
+        assert grid.cell_count == 24
+        serial = run_campaign(grid, workers=1)
+        two = run_campaign(grid, workers=2)
+        four = run_campaign(grid, workers=4)
+        assert serial.to_canonical_json() == two.to_canonical_json()
+        assert serial.to_canonical_json() == four.to_canonical_json()
+        # Every cell actually carried traffic (no silently empty runs).
+        for cell in serial.cells:
+            assert cell.result["trace_packets"] > 0, cell.spec.key
 
     def test_cached_rerun_is_byte_identical_and_all_hits(self, tmp_path):
         grid = acceptance_grid()
@@ -57,17 +90,30 @@ class TestCampaignWorkerIndependence:
         assert digests_a != digests_b
 
 
+#: Small per-workload parameters for the per-cell determinism checks.
+CELL_PARAMS = {
+    "bulk_transfer": {"transfer_bytes": 50_000, "horizon": 12.0},
+    "streaming": {"block_count": 3, "horizon": 12.0},
+    "http": {"request_count": 2, "object_size": 30_000, "horizon": 12.0},
+    "longlived": {"message_interval": 2.0, "horizon": 12.0},
+}
+
+
+def _cell_spec(experiment: str, scenario: str) -> dict:
+    return {
+        "experiment": experiment,
+        "scenario": scenario,
+        "scheduler": "lowest_rtt",
+        "controller": "fullmesh",
+        "seed_index": 0,
+        "params": CELL_PARAMS[experiment],
+    }
+
+
 class TestScenarioTraceDeterminism:
     @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
     def test_same_seed_same_trace(self, scenario):
-        spec = {
-            "experiment": "bulk_transfer",
-            "scenario": scenario,
-            "scheduler": "lowest_rtt",
-            "controller": "fullmesh",
-            "seed_index": 0,
-            "params": {"transfer_bytes": 50_000, "horizon": 12.0},
-        }
+        spec = _cell_spec("bulk_transfer", scenario)
         first = run_cell(spec, 9)
         second = run_cell(spec, 9)
         assert first == second
@@ -76,12 +122,25 @@ class TestScenarioTraceDeterminism:
 
     @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
     def test_different_seed_different_trace(self, scenario):
-        spec = {
-            "experiment": "bulk_transfer",
-            "scenario": scenario,
-            "scheduler": "lowest_rtt",
-            "controller": "fullmesh",
-            "seed_index": 0,
-            "params": {"transfer_bytes": 50_000, "horizon": 12.0},
-        }
+        spec = _cell_spec("bulk_transfer", scenario)
+        assert run_cell(spec, 9)["trace_digest"] != run_cell(spec, 10)["trace_digest"]
+
+
+class TestWorkloadTraceDeterminism:
+    """Every workload's cells replay exactly, on every scenario."""
+
+    @pytest.mark.parametrize("experiment", ["streaming", "http", "longlived"])
+    @pytest.mark.parametrize(
+        "scenario", ["dual_homed", "asymmetric_loss", "path_failure_recovery"]
+    )
+    def test_same_seed_same_trace(self, experiment, scenario):
+        spec = _cell_spec(experiment, scenario)
+        first = run_cell(spec, 9)
+        second = run_cell(spec, 9)
+        assert first == second
+        assert first["trace_packets"] > 0
+
+    @pytest.mark.parametrize("experiment", ["streaming", "http", "longlived"])
+    def test_different_seed_different_trace(self, experiment):
+        spec = _cell_spec(experiment, "dual_homed")
         assert run_cell(spec, 9)["trace_digest"] != run_cell(spec, 10)["trace_digest"]
