@@ -17,3 +17,12 @@ def pytest_addoption(parser):
         default=False,
         help="re-record BENCH_workloads.json from this machine's rates",
     )
+    parser.addoption(
+        "--workloads-bench-tolerance",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fail if cells/sec drops more than this fraction below "
+        "BENCH_workloads.json (e.g. 0.4 = 40%%); default is the loose "
+        "10x-collapse check only",
+    )

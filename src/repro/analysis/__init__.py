@@ -2,6 +2,11 @@
 
 from repro.analysis.aggregate import cdfs_by, group_cells, metric_values, summarize_groups
 from repro.analysis.cdf import Cdf
+from repro.analysis.deltas import (
+    out_of_tolerance_counts_by_axis,
+    summarize_drift_by_axis,
+    worst_cell_deltas,
+)
 from repro.analysis.stats import SummaryStats, summarize
 from repro.analysis.trace import (
     SequencePoint,
@@ -28,4 +33,7 @@ __all__ = [
     "metric_values",
     "summarize_groups",
     "cdfs_by",
+    "worst_cell_deltas",
+    "summarize_drift_by_axis",
+    "out_of_tolerance_counts_by_axis",
 ]

@@ -17,6 +17,13 @@ from repro.analysis.stats import SummaryStats, summarize
 GROUP_AXES = ("experiment", "scenario", "scheduler", "controller")
 
 
+def validate_axes(by: Sequence[str]) -> None:
+    """Reject grouping axes that are not grid axes (shared by all groupers)."""
+    for axis in by:
+        if axis not in GROUP_AXES:
+            raise ValueError(f"unknown grouping axis {axis!r} (expected one of {GROUP_AXES})")
+
+
 def _axis_value(cell, axis: str) -> str:
     spec = cell.spec if hasattr(cell, "spec") else cell["spec"]
     if isinstance(spec, Mapping):
@@ -36,9 +43,7 @@ def group_cells(cells: Iterable, by: Sequence[str]) -> dict[tuple[str, ...], lis
     campaign.  Group keys follow first-seen order of iteration, which is
     deterministic because the engine emits cells in grid-expansion order.
     """
-    for axis in by:
-        if axis not in GROUP_AXES:
-            raise ValueError(f"unknown grouping axis {axis!r} (expected one of {GROUP_AXES})")
+    validate_axes(by)
     groups: dict[tuple[str, ...], list] = {}
     for cell in cells:
         key = tuple(_axis_value(cell, axis) for axis in by)

@@ -1,0 +1,105 @@
+"""Drift statistics over a campaign diff.
+
+The cell-by-cell comparison in :mod:`repro.sweep.diff` produces one
+:class:`~repro.sweep.diff.CellDiff` per matched cell; these helpers reduce
+that to the two views the diff report renders:
+
+* per-cell: the worst (largest relative) delta of every changed cell,
+  ranked — "which cells moved the most";
+* aggregated-by-axis: relative-delta summaries grouped by any grid axis —
+  "did one scenario absorb all the drift, or is it uniform".
+
+Kept in ``repro.analysis`` (not ``repro.sweep``) because it is pure
+statistics over already-computed deltas, reusing the same
+:class:`~repro.analysis.stats.SummaryStats` machinery as the campaign
+aggregation tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.aggregate import validate_axes
+from repro.analysis.stats import SummaryStats, summarize
+
+
+def _finite_rel_deltas(cell) -> list[float]:
+    """The finite relative deltas of one cell's numeric changes."""
+    return [
+        delta.rel_delta
+        for delta in cell.deltas
+        if delta.rel_delta is not None and math.isfinite(delta.rel_delta)
+    ]
+
+
+def worst_cell_deltas(cells: Iterable, limit: Optional[int] = None) -> list[tuple]:
+    """Changed cells ranked by their largest relative delta, descending.
+
+    Returns ``(key, metric, rel_delta)`` triples.  A cell with any gating
+    drift that has no finite relative delta (a missing or NaN metric)
+    reports ``(key, that_metric, inf)`` and therefore ranks *first* — even
+    when the same cell also has small finite drift — so vanished metrics
+    are never hidden below numeric noise by a ``limit``.  Cells with only
+    informational changes rank ``inf`` too, attributed to their first
+    delta.
+    """
+    ranked = []
+    for cell in cells:
+        if cell.identical:
+            continue
+        unrankable_gating = [
+            delta for delta in cell.deltas
+            if delta.gating
+            and (delta.rel_delta is None or not math.isfinite(delta.rel_delta))
+        ]
+        numeric = [
+            delta for delta in cell.deltas
+            if delta.rel_delta is not None and math.isfinite(delta.rel_delta)
+        ]
+        if unrankable_gating:
+            ranked.append((cell.key, unrankable_gating[0].metric, math.inf))
+        elif numeric:
+            worst = max(numeric, key=lambda delta: delta.rel_delta)
+            ranked.append((cell.key, worst.metric, worst.rel_delta))
+        else:
+            ranked.append((cell.key, cell.deltas[0].metric, math.inf))
+    ranked.sort(key=lambda row: (-row[2], row[0]))
+    if limit is not None:
+        ranked = ranked[:limit]
+    return ranked
+
+
+def summarize_drift_by_axis(
+    cells: Iterable,
+    by: Sequence[str] = ("scenario",),
+) -> dict[tuple[str, ...], Optional[SummaryStats]]:
+    """Relative-delta summaries of the changed metrics, per axis group.
+
+    Groups every matched cell by the given grid axes (read from the cell's
+    spec dict) and summarises the finite relative deltas inside each
+    group; groups whose cells are all identical map to ``None``.  Axis
+    names follow :data:`repro.analysis.aggregate.GROUP_AXES`.
+    """
+    validate_axes(by)
+    summaries: dict[tuple[str, ...], Optional[SummaryStats]] = {}
+    grouped: dict[tuple[str, ...], list[float]] = {}
+    for cell in cells:
+        key = tuple(str(cell.spec[axis]) for axis in by)
+        grouped.setdefault(key, []).extend(_finite_rel_deltas(cell))
+    for key, values in grouped.items():
+        summaries[key] = summarize(values) if values else None
+    return summaries
+
+
+def out_of_tolerance_counts_by_axis(
+    cells: Iterable,
+    by: Sequence[str] = ("scenario",),
+) -> dict[tuple[str, ...], int]:
+    """How many out-of-tolerance metric deltas each axis group contributed."""
+    validate_axes(by)
+    counts: dict[tuple[str, ...], int] = {}
+    for cell in cells:
+        key = tuple(str(cell.spec[axis]) for axis in by)
+        counts[key] = counts.get(key, 0) + len(cell.out_of_tolerance)
+    return counts

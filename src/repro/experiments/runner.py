@@ -7,7 +7,15 @@ defaults and full-size reference runs.
 
 Beyond the figure presets, ``sweep`` runs a named campaign grid, ``cell``
 runs one arbitrary workload × scenario × controller × scheduler point of
-the harness, and ``list`` prints every registry the grid is built from.
+the harness, ``list`` prints every registry the grid is built from, and
+the regression-gate pair ``baseline`` / ``diff`` snapshots a campaign to
+a committed JSON file and compares a fresh (or cached) run against it —
+``diff`` exits non-zero on out-of-tolerance drift, which is what CI keys
+on.
+
+Each subcommand owns its flags (``argparse`` subparsers), so e.g.
+``fig2a --baseline`` (include the kernel-only baseline run) and
+``diff --baseline PATH`` (the snapshot to compare against) coexist.
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ import argparse
 import json
 import sys
 import time
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 from repro.experiments.fig2a_backup import run_fig2a
 from repro.experiments.fig2b_streaming import run_fig2b
@@ -25,7 +33,10 @@ from repro.experiments.fig3_pm_delay import run_fig3
 from repro.experiments.grids import named_grid
 from repro.experiments.longlived import run_longlived
 from repro.sweep.engine import run_campaign
-from repro.sweep.report import format_campaign_report
+from repro.sweep.report import format_campaign_report, format_diff_report
+
+#: A handler returns the report text, optionally paired with an exit code.
+HandlerResult = Union[str, tuple[str, int]]
 
 
 def _run_fig2a(args: argparse.Namespace) -> str:
@@ -57,6 +68,67 @@ def _run_sweep(args: argparse.Namespace) -> str:
     grid = named_grid(args.grid, campaign_seed=args.seed)
     result = run_campaign(grid, workers=args.workers, cache_dir=args.cache_dir)
     return format_campaign_report(result)
+
+
+def _run_baseline(args: argparse.Namespace) -> str:
+    """Run a named grid and snapshot it to a committed baseline file."""
+    from repro.sweep.baseline import write_baseline
+
+    grid = named_grid(args.grid, campaign_seed=args.seed)
+    result = run_campaign(grid, workers=args.workers, cache_dir=args.cache_dir)
+    baseline = write_baseline(result, args.out)
+    return (
+        f"wrote baseline '{baseline.name}' ({baseline.cell_count} cells, "
+        f"campaign seed {baseline.campaign_seed}) to {args.out}"
+    )
+
+
+def _run_diff(args: argparse.Namespace) -> HandlerResult:
+    """Compare a campaign against a committed baseline; exit 1 on drift.
+
+    The reference (left) side is always the ``--baseline`` snapshot file.
+    The candidate (right) side is, in order of preference: another
+    snapshot file (``--candidate``), the on-disk cell cache alone
+    (``--from-cache``, no cells are run), or a fresh run of ``--grid``
+    (which still reuses ``--cache-dir`` when given).  Grid name and
+    campaign seed default to the snapshot's own, so the common call is
+    just ``diff --baseline baselines/<grid>.json``.
+    """
+    from repro.sweep.baseline import Baseline, baseline_from_cache, load_baseline
+    from repro.sweep.diff import diff_campaigns
+
+    reference = load_baseline(args.baseline)
+    if args.candidate is not None:
+        conflicting = [
+            flag for flag, value in (
+                ("--grid", args.grid), ("--seed", args.seed),
+                ("--cache-dir", args.cache_dir),
+                ("--from-cache", args.from_cache or None),
+            ) if value is not None
+        ]
+        if conflicting:
+            raise SystemExit(
+                f"diff --candidate compares two snapshot files; it conflicts "
+                f"with {', '.join(conflicting)}"
+            )
+        candidate = load_baseline(args.candidate)
+    else:
+        grid_name = args.grid if args.grid is not None else reference.name
+        seed = args.seed if args.seed is not None else reference.campaign_seed
+        grid = named_grid(grid_name, campaign_seed=seed)
+        if args.from_cache:
+            if args.cache_dir is None:
+                raise SystemExit("diff --from-cache requires --cache-dir")
+            candidate = baseline_from_cache(grid, args.cache_dir)
+        else:
+            result = run_campaign(grid, workers=args.workers, cache_dir=args.cache_dir)
+            candidate = Baseline.from_result(result, source=f"run of grid '{grid_name}'")
+
+    diff = diff_campaigns(reference, candidate)
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(diff.to_json() + "\n")
+    return format_diff_report(diff), (0 if diff.gate_ok else 1)
 
 
 def _run_cell(args: argparse.Namespace) -> str:
@@ -109,7 +181,7 @@ def _list_registries(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
-EXPERIMENTS: dict[str, Callable[[argparse.Namespace], str]] = {
+EXPERIMENTS: dict[str, Callable[[argparse.Namespace], HandlerResult]] = {
     "fig2a": _run_fig2a,
     "fig2b": _run_fig2b,
     "fig2c": _run_fig2c,
@@ -118,7 +190,69 @@ EXPERIMENTS: dict[str, Callable[[argparse.Namespace], str]] = {
     "sweep": _run_sweep,
     "cell": _run_cell,
     "list": _list_registries,
+    "baseline": _run_baseline,
+    "diff": _run_diff,
 }
+
+#: Subcommands ``all`` does not run: campaigns, single cells, the registry
+#: listing and the regression-gate pair are opt-in via their own names.
+OPT_IN = frozenset({"sweep", "cell", "list", "baseline", "diff"})
+
+
+def _add_figure_options(parser: argparse.ArgumentParser, figures: Sequence[str]) -> None:
+    """Attach the per-figure scaling flags (shared with the ``all`` runner)."""
+    if "fig2a" in figures:
+        parser.add_argument(
+            "--baseline", action="store_true",
+            help="fig2a: also simulate the kernel-only backup baseline",
+        )
+    if "fig2b" in figures:
+        parser.add_argument("--blocks", type=int, default=60,
+                            help="fig2b: number of 64 KB blocks per run")
+        parser.add_argument("--sweep", action="store_true",
+                            help="fig2b: run the smart controller at every loss rate")
+    if "fig2c" in figures:
+        parser.add_argument("--runs", type=int, default=10,
+                            help="fig2c: number of seeds per variant")
+        parser.add_argument("--scale", type=float, default=0.1,
+                            help="fig2c: fraction of the 100 MB transfer")
+    if "fig3" in figures:
+        parser.add_argument("--requests", type=int, default=200,
+                            help="fig3: number of HTTP requests")
+        parser.add_argument("--stressed", action="store_true",
+                            help="fig3: add CPU-stress scheduling jitter")
+    if "longlived" in figures:
+        parser.add_argument("--duration", type=float, default=900.0,
+                            help="longlived: experiment duration in seconds")
+
+
+def _add_campaign_options(
+    parser: argparse.ArgumentParser,
+    grid_default: Optional[str] = "default",
+    grid_required: bool = False,
+) -> None:
+    """The grid/worker/cache flags shared by ``sweep``/``baseline``/``diff``.
+
+    ``baseline`` requires an explicit grid (a snapshot of the wrong grid
+    is a silent footgun) and ``diff`` defaults to the snapshot's own grid
+    name, so only ``sweep`` keeps the ``default`` grid default.
+    """
+    grid_help = (
+        "named campaign grid (quick, default, full, workloads, fig2a, fig2b, "
+        "fig2c, fig3, longlived)"
+    )
+    if grid_required:
+        parser.add_argument("--grid", required=True, help=grid_help)
+    elif grid_default is None:
+        parser.add_argument(
+            "--grid", default=None,
+            help=grid_help + "; defaults to the --baseline snapshot's grid name",
+        )
+    else:
+        parser.add_argument("--grid", default=grid_default, help=grid_help)
+    parser.add_argument("--workers", type=int, default=1, help="worker processes")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for the on-disk cell cache")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -127,56 +261,108 @@ def build_parser() -> argparse.ArgumentParser:
         prog="smapp-experiments",
         description="Reproduce the evaluation of 'SMAPP: Towards Smart Multipath TCP-enabled APPlications'",
     )
-    parser.add_argument(
-        "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
+    seed_parent = argparse.ArgumentParser(add_help=False)
+    seed_parent.add_argument("--seed", type=int, default=1, help="base random seed")
+
+    subparsers = parser.add_subparsers(
+        dest="experiment",
+        required=True,
+        metavar="experiment",
         help="which figure/section to reproduce ('sweep' runs a campaign, 'cell' one "
-        "workload/scenario/controller point, 'list' prints the registries)",
+        "workload/scenario/controller point, 'list' prints the registries, "
+        "'baseline'/'diff' snapshot and regression-check a campaign, 'all' every figure)",
     )
-    parser.add_argument("--seed", type=int, default=1, help="base random seed")
-    parser.add_argument("--baseline", action="store_true", help="fig2a: also simulate the kernel-only backup baseline")
-    parser.add_argument("--blocks", type=int, default=60, help="fig2b: number of 64 KB blocks per run")
-    parser.add_argument("--sweep", action="store_true", help="fig2b: run the smart controller at every loss rate")
-    parser.add_argument("--runs", type=int, default=10, help="fig2c: number of seeds per variant")
-    parser.add_argument("--scale", type=float, default=0.1, help="fig2c: fraction of the 100 MB transfer")
-    parser.add_argument("--requests", type=int, default=200, help="fig3: number of HTTP requests")
-    parser.add_argument("--stressed", action="store_true", help="fig3: add CPU-stress scheduling jitter")
-    parser.add_argument("--duration", type=float, default=900.0, help="longlived: experiment duration in seconds")
-    parser.add_argument(
-        "--grid",
-        default="default",
-        help="sweep: named campaign grid (quick, default, full, workloads, fig2a, fig2b, "
-        "fig2c, fig3, longlived)",
+
+    for figure in ("fig2a", "fig2b", "fig2c", "fig3", "longlived"):
+        figure_parser = subparsers.add_parser(
+            figure, parents=[seed_parent], help=f"reproduce {figure}"
+        )
+        _add_figure_options(figure_parser, [figure])
+
+    all_parser = subparsers.add_parser(
+        "all", parents=[seed_parent], help="reproduce every paper figure"
     )
-    parser.add_argument("--workers", type=int, default=1, help="sweep: worker processes")
-    parser.add_argument("--cache-dir", default=None, help="sweep: directory for the on-disk cell cache")
-    parser.add_argument("--workload", default="bulk_transfer", help="cell: workload registry name")
-    parser.add_argument("--scenario", default="dual_homed", help="cell: scenario registry name")
-    parser.add_argument("--controller", default="passive", help="cell: controller registry name")
-    parser.add_argument("--scheduler", default="lowest_rtt", help="cell: scheduler registry name")
-    parser.add_argument("--horizon", type=float, default=30.0, help="cell: simulated run horizon in seconds")
-    parser.add_argument("--params", default=None, help="cell: workload parameters as a JSON object")
+    _add_figure_options(all_parser, ["fig2a", "fig2b", "fig2c", "fig3", "longlived"])
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", parents=[seed_parent], help="run a named campaign grid"
+    )
+    _add_campaign_options(sweep_parser)
+
+    baseline_parser = subparsers.add_parser(
+        "baseline",
+        parents=[seed_parent],
+        help="run a named grid and snapshot it to a baseline JSON file",
+    )
+    _add_campaign_options(baseline_parser, grid_required=True)
+    baseline_parser.add_argument(
+        "--out", required=True, help="path of the baseline snapshot to write"
+    )
+
+    diff_parser = subparsers.add_parser(
+        "diff",
+        help="compare a campaign against a committed baseline (exit 1 on drift)",
+    )
+    diff_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="campaign seed for the candidate run (defaults to the snapshot's)",
+    )
+    _add_campaign_options(diff_parser, grid_default=None)
+    diff_parser.add_argument(
+        "--baseline", required=True,
+        help="reference baseline snapshot (the committed file to gate against)",
+    )
+    diff_parser.add_argument(
+        "--candidate", default=None,
+        help="compare another snapshot file instead of running the grid",
+    )
+    diff_parser.add_argument(
+        "--from-cache", action="store_true",
+        help="load the candidate purely from --cache-dir (error on missing cells)",
+    )
+    diff_parser.add_argument(
+        "--json", default=None, help="also write the machine-readable diff JSON here"
+    )
+
+    cell_parser = subparsers.add_parser(
+        "cell", parents=[seed_parent], help="run one harness cell by registry names"
+    )
+    cell_parser.add_argument("--workload", default="bulk_transfer", help="workload registry name")
+    cell_parser.add_argument("--scenario", default="dual_homed", help="scenario registry name")
+    cell_parser.add_argument("--controller", default="passive", help="controller registry name")
+    cell_parser.add_argument("--scheduler", default="lowest_rtt", help="scheduler registry name")
+    cell_parser.add_argument("--horizon", type=float, default=30.0,
+                             help="simulated run horizon in seconds")
+    cell_parser.add_argument("--params", default=None,
+                             help="workload parameters as a JSON object")
+
+    subparsers.add_parser("list", parents=[seed_parent],
+                          help="print every registry the grid is built from")
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point; returns non-zero when a subcommand reports failure
+    (currently only ``diff``, on out-of-tolerance drift)."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.experiment == "all":
         # "all" means every paper figure; campaigns, single cells and the
         # registry listing are opt-in via their own subcommands.
-        names = sorted(name for name in EXPERIMENTS if name not in ("sweep", "cell", "list"))
+        names = sorted(name for name in EXPERIMENTS if name not in OPT_IN)
     else:
         names = [args.experiment]
+    exit_code = 0
     for name in names:
         started = time.time()
-        report = EXPERIMENTS[name](args)
+        outcome = EXPERIMENTS[name](args)
+        report, code = outcome if isinstance(outcome, tuple) else (outcome, 0)
+        exit_code = max(exit_code, code)
         elapsed = time.time() - started
         print(report)
         print(f"[{name} completed in {elapsed:.1f}s wall clock]")
         print()
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

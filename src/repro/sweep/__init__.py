@@ -14,11 +14,29 @@ every registered scenario with the same probe-based metric extraction the
 figure presets use.
 """
 
+from repro.sweep.baseline import (
+    BASELINE_FORMAT_VERSION,
+    Baseline,
+    BaselineCell,
+    baseline_from_cache,
+    load_baseline,
+    write_baseline,
+)
 from repro.sweep.cache import CellCache
 from repro.sweep.cells import CONTROLLERS, EXPERIMENTS, SCENARIOS, run_cell, trace_digest
+from repro.sweep.diff import (
+    DEFAULT_TOLERANCES,
+    DIFF_FORMAT_VERSION,
+    CampaignDiff,
+    CellDiff,
+    MetricDelta,
+    Tolerance,
+    diff_campaigns,
+    metric_family,
+)
 from repro.sweep.engine import CampaignResult, CellOutcome, run_campaign
 from repro.sweep.grid import CampaignGrid, CellSpec, SWEEP_FORMAT_VERSION
-from repro.sweep.report import format_campaign_report
+from repro.sweep.report import format_campaign_report, format_diff_report
 
 __all__ = [
     "CampaignGrid",
@@ -30,8 +48,23 @@ __all__ = [
     "run_cell",
     "trace_digest",
     "format_campaign_report",
+    "format_diff_report",
     "SCENARIOS",
     "CONTROLLERS",
     "EXPERIMENTS",
     "SWEEP_FORMAT_VERSION",
+    "Baseline",
+    "BaselineCell",
+    "baseline_from_cache",
+    "load_baseline",
+    "write_baseline",
+    "BASELINE_FORMAT_VERSION",
+    "CampaignDiff",
+    "CellDiff",
+    "MetricDelta",
+    "Tolerance",
+    "diff_campaigns",
+    "metric_family",
+    "DEFAULT_TOLERANCES",
+    "DIFF_FORMAT_VERSION",
 ]

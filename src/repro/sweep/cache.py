@@ -14,6 +14,26 @@ import tempfile
 from typing import Optional
 
 
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp file + rename.
+
+    An interrupted write never leaves a truncated file behind, and
+    concurrent writers of the same path simply race to a complete file.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except FileNotFoundError:
+            pass
+        raise
+
+
 class CellCache:
     """A directory of ``<config-hash>.json`` cell results."""
 
@@ -44,18 +64,7 @@ class CellCache:
 
     def put(self, config_hash: str, entry: dict) -> None:
         """Store ``entry`` (a JSON-serialisable dict) atomically."""
-        path = self._path(config_hash)
-        fd, tmp_path = tempfile.mkstemp(dir=self._directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle, sort_keys=True)
-            os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except FileNotFoundError:
-                pass
-            raise
+        atomic_write_text(self._path(config_hash), json.dumps(entry, sort_keys=True))
 
     def __len__(self) -> int:
         return sum(1 for name in os.listdir(self._directory) if name.endswith(".json"))

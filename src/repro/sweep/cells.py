@@ -62,6 +62,10 @@ def run_cell(spec_dict: Mapping, campaign_seed: int) -> dict:
             server_port=SERVER_PORT,
             params=params,
             probes=DEFAULT_PROBES,
+            # Grid-level opt-out for very large cells, where the capture
+            # list dominates memory; the param is part of the config hash,
+            # so traced and untraced cells never share a cache entry.
+            trace_probe=bool(params.get("trace_probe", True)),
         )
     )
     metrics = dict(run.metrics)

@@ -16,6 +16,7 @@ losing the shared assembly).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional, Sequence, Union
 
@@ -56,6 +57,24 @@ class HarnessSpec:
     hooks: Sequence[Callable[["HarnessRun"], None]] = ()
     """Callbacks run after the client started, before ``sim.run`` — the
     place to schedule mid-run events (loss onset, interface flaps)."""
+    trace_probe: bool = True
+    """When ``False``, probes named ``trace`` are dropped from the spec's
+    probe list before attaching.  The packet-capture list dominates memory
+    on very large cells; this is the opt-out for sweeps that only need the
+    cheap scalar probes.  (Disabling it also removes the trace metrics
+    from the cell's output, so it is part of the cell's configuration.)"""
+    measure_probe_overhead: bool = False
+    """When ``True``, the per-probe wall-clock overhead (attach + collect
+    seconds) is published as the structured ``probe_overhead_s`` metric.
+    Off by default: wall times are non-deterministic, and sweep cells must
+    stay byte-identical across runs.  The timings are always available on
+    :attr:`HarnessRun.probe_timings` regardless of this flag.
+
+    Only the attach and collect phases are timed — cost a probe incurs
+    *during* ``sim.run`` (the trace probe's per-packet capture, which is
+    exactly why :attr:`trace_probe` exists) happens inside the event loop
+    and cannot be attributed per probe; gauge it by comparing whole-cell
+    wall time with the probe on and off."""
 
 
 @dataclass
@@ -74,6 +93,8 @@ class HarnessRun:
     server_apps: list
     probes: dict[str, Probe]
     metrics: dict[str, Any] = field(default_factory=dict)
+    probe_timings: dict[str, float] = field(default_factory=dict)
+    """Wall-clock seconds each probe spent in attach + collect."""
 
     def probe(self, name: str) -> Probe:
         """Look up one of the run's probes by registry name."""
@@ -146,11 +167,16 @@ class Harness:
         )
 
         probes: dict[str, Probe] = {}
+        probe_timings: dict[str, float] = {}
         for entry in spec.probes:
             probe = make_probe(entry)
             if probe.name in probes:
                 raise ValueError(f"duplicate probe {probe.name!r} in spec")
+            if probe.name == "trace" and not spec.trace_probe:
+                continue
+            attach_started = time.perf_counter()
             probe.attach(ctx)
+            probe_timings[probe.name] = time.perf_counter() - attach_started
             probes[probe.name] = probe
 
         server_apps: list = []
@@ -178,6 +204,7 @@ class Harness:
             connection=connection,
             server_apps=server_apps,
             probes=probes,
+            probe_timings=probe_timings,
         )
         for hook in spec.hooks:
             hook(run)
@@ -186,7 +213,11 @@ class Harness:
 
         run.metrics = dict(workload.collect(run))
         for probe in probes.values():
+            collect_started = time.perf_counter()
             run.metrics.update(probe.collect(run))
+            probe_timings[probe.name] += time.perf_counter() - collect_started
+        if spec.measure_probe_overhead:
+            run.metrics["probe_overhead_s"] = dict(probe_timings)
         return run
 
 

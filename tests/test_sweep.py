@@ -197,10 +197,12 @@ class TestReport:
 class TestRunnerIntegration:
     def test_all_excludes_the_sweep_campaign(self, monkeypatch):
         """`smapp-experiments all` reproduces the paper figures only; the
-        sweep, the single-cell runner and the registry listing are opt-in."""
+        sweep, the single-cell runner, the registry listing and the
+        regression-gate pair (baseline/diff) are opt-in."""
         from repro.experiments import runner
 
-        opt_in = {"sweep", "cell", "list"}
+        opt_in = runner.OPT_IN
+        assert {"sweep", "cell", "list", "baseline", "diff"} == set(opt_in)
         ran = []
         monkeypatch.setattr(
             runner, "EXPERIMENTS", {name: lambda args, name=name: ran.append(name) or ""

@@ -215,6 +215,61 @@ class TestWorkloadsCampaign:
         assert all(stats is None for stats in summaries.values())
 
 
+class TestProbeOverheadAndTraceOptOut:
+    """Per-probe overhead accounting and the trace-probe opt-out (ISSUE 3)."""
+
+    def test_probe_timings_are_always_recorded(self):
+        run = run_workload(small_spec("bulk_transfer"))
+        assert set(run.probe_timings) == set(run.probes)
+        assert all(timing >= 0.0 for timing in run.probe_timings.values())
+        # Off by default: wall times must not leak into the deterministic
+        # metrics surface.
+        assert "probe_overhead_s" not in run.metrics
+
+    def test_overhead_metric_is_opt_in(self):
+        run = run_workload(small_spec("bulk_transfer", measure_probe_overhead=True))
+        overhead = run.metrics["probe_overhead_s"]
+        assert set(overhead) == {"trace", "goodput", "subflows", "app_latency"}
+        assert all(value >= 0.0 for value in overhead.values())
+
+    def test_trace_opt_out_drops_the_probe_and_its_metrics(self):
+        run = run_workload(small_spec("bulk_transfer", trace_probe=False))
+        assert "trace" not in run.probes
+        for metric in ("trace_packets", "trace_digest", "trace_data_bytes"):
+            assert metric not in run.metrics
+        # The cheap probes still report.
+        assert run.metrics["goodput_mbps"] > 0
+        assert run.metrics["subflows_created"] >= 1
+
+    def test_trace_opt_out_skips_probe_instances_too(self):
+        probe = TraceProbe(tracer_name="capture")
+        run = run_workload(
+            small_spec("bulk_transfer", probes=(probe,), trace_probe=False)
+        )
+        assert run.probes == {} and probe.tracer is None
+
+    def test_cell_level_opt_out_via_params(self):
+        spec = {
+            "experiment": "bulk_transfer",
+            "scenario": "dual_homed",
+            "scheduler": "lowest_rtt",
+            "controller": "fullmesh",
+            "seed_index": 0,
+            "params": {**SMALL_PARAMS["bulk_transfer"], "horizon": 12.0,
+                       "trace_probe": False},
+        }
+        metrics = run_cell(spec, 21)
+        assert "trace_packets" not in metrics and "trace_digest" not in metrics
+        assert metrics["events_processed"] > 0
+        # The flag is part of the cell's configuration, so traced and
+        # untraced cells can never share a cache entry.
+        from repro.sweep import CellSpec
+
+        traced = dict(spec, params={**spec["params"], "trace_probe": True})
+        assert (CellSpec.from_dict(spec).config_hash(21)
+                != CellSpec.from_dict(traced).config_hash(21))
+
+
 class TestLossyScenarioApps:
     """The §4.5/§4.1 apps under the loss-heavy scenarios (satellite of ISSUE 2)."""
 
