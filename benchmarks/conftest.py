@@ -26,3 +26,12 @@ def pytest_addoption(parser):
         "BENCH_workloads.json (e.g. 0.4 = 40%%); default is the loose "
         "10x-collapse check only",
     )
+    parser.addoption(
+        "--workloads-bench-ratio-tolerance",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fail if the bulk-vs-http cells/sec ratio drifts more than "
+        "this fraction from BENCH_workloads.json (e.g. 0.25 = 25%%). The "
+        "ratio cancels out hardware speed, so this is the gate CI uses",
+    )

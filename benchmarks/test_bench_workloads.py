@@ -85,10 +85,16 @@ def test_report_against_committed_baseline(request):
     By default the assertion is deliberately loose (10x regression) —
     machine-to-machine variance dwarfs code-level changes; the committed
     numbers exist to make the trajectory visible, not to gate CI on
-    hardware.  CI's bench-regression job opts into a tighter (but still
-    generous) gate with ``--workloads-bench-tolerance 0.4``: fail when a
-    workload runs more than 40% below the committed rate, and print the
-    delta either way.
+    hardware.  Two opt-in gates exist on top:
+
+    * ``--workloads-bench-tolerance 0.4`` — absolute cells/sec floor per
+      workload.  Load-bearing only on hardware comparable to where the
+      baseline was recorded.
+    * ``--workloads-bench-ratio-tolerance 0.25`` — the bulk-vs-http
+      cells/sec *ratio* against the committed ratio.  Both workloads run
+      on the same machine in the same session, so hardware speed cancels
+      out and the gate only fires when one workload's cost profile
+      actually changes relative to the other.  This is what CI uses.
     """
     current = {name: _run_batch(name) for name in sorted(CELL_SPECS)}
 
@@ -100,6 +106,9 @@ def test_report_against_committed_baseline(request):
                 "system": platform.system(),
             },
             "cells_per_round": CELLS_PER_ROUND,
+            "bulk_vs_http_ratio": round(
+                current["bulk_transfer"]["cells_per_s"] / current["http"]["cells_per_s"], 3
+            ),
             "workloads": {
                 name: {"cells_per_s": round(stats["cells_per_s"], 2),
                        "events_per_cell": round(stats["events_per_cell"])}
@@ -134,3 +143,24 @@ def test_report_against_committed_baseline(request):
                 f"{tolerance:.0%} below the committed {recorded:.1f} cells/s "
                 f"(floor {floor:.1f})"
             )
+
+    ratio_tolerance = request.config.getoption("--workloads-bench-ratio-tolerance")
+    recorded_ratio = baseline.get("bulk_vs_http_ratio")
+    if recorded_ratio is None:
+        # Older baseline files predate the ratio field; derive it.
+        recorded_ratio = (
+            baseline["workloads"]["bulk_transfer"]["cells_per_s"]
+            / baseline["workloads"]["http"]["cells_per_s"]
+        )
+    current_ratio = current["bulk_transfer"]["cells_per_s"] / current["http"]["cells_per_s"]
+    drift = current_ratio / recorded_ratio - 1
+    print(
+        f"bulk-vs-http ratio: {current_ratio:.2f} now vs {recorded_ratio:.2f} committed "
+        f"({drift:+.0%} drift)"
+    )
+    if ratio_tolerance is not None:
+        assert abs(drift) <= ratio_tolerance, (
+            f"bulk-vs-http cells/sec ratio drifted {drift:+.0%} from the committed "
+            f"{recorded_ratio:.2f} (tolerance {ratio_tolerance:.0%}): one workload's "
+            f"cost profile changed relative to the other"
+        )

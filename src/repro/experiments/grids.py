@@ -109,6 +109,35 @@ def workloads_grid(campaign_seed: int = 1) -> CampaignGrid:
     )
 
 
+def fuzz_grid(campaign_seed: int = 1, seeds: int = 2) -> CampaignGrid:
+    """Faulted scenario variants next to their clean twins.
+
+    The seed axis doubles as the fault-plan axis: each seed index derives
+    its own cell seed, from which the faulted scenarios derive their own
+    :class:`~repro.faults.plan.FaultPlan` — so ``seeds=N`` sweeps N
+    deterministic adversaries per scenario.  The clean twins ride along in
+    the same campaign so :func:`repro.analysis.faults.triage_campaign` can
+    judge goodput retention cell by cell.
+    """
+    from repro.faults.catalog import FAULTED_SCENARIOS
+
+    scenarios = sorted(set(FAULTED_SCENARIOS) | set(FAULTED_SCENARIOS.values()))
+    return CampaignGrid(
+        name="fuzz",
+        campaign_seed=campaign_seed,
+        experiments=["bulk_transfer", "longlived"],
+        scenarios=scenarios,
+        schedulers=["lowest_rtt"],
+        controllers=["fullmesh"],
+        seeds=seeds,
+        params={
+            "transfer_bytes": 60_000,
+            "message_interval": 2.0,
+            "horizon": 15.0,
+        },
+    )
+
+
 def figure_campaigns(campaign_seed: int = 1) -> dict[str, CampaignGrid]:
     """One-cell campaigns mirroring each paper figure's setting."""
     return {
@@ -188,6 +217,7 @@ def named_grid(name: str, campaign_seed: int = 1) -> CampaignGrid:
         "default": default_grid,
         "full": full_grid,
         "workloads": workloads_grid,
+        "fuzz": fuzz_grid,
     }
     if name in builders:
         return builders[name](campaign_seed=campaign_seed)

@@ -131,6 +131,106 @@ def _run_diff(args: argparse.Namespace) -> HandlerResult:
     return format_diff_report(diff), (0 if diff.gate_ok else 1)
 
 
+def _run_fuzz(args: argparse.Namespace) -> HandlerResult:
+    """Run a fuzz campaign and triage it — or shrink one failing plan.
+
+    The campaign path runs the ``fuzz`` grid (faulted scenario variants
+    next to their clean twins), reduces it to the canonical triage report
+    and optionally writes the byte-stable JSON; with ``--fail-on-failed``
+    the exit code reflects failed cells (off by default: fuzzing reports,
+    the diff gate gates).  The ``--shrink`` path takes a named or on-disk
+    fault plan, verifies it fails the configured cell, ddmin-reduces it to
+    a minimal event subsequence and writes the counterexample artifact.
+    """
+    if args.shrink:
+        return _run_shrink(args)
+    from repro.analysis.faults import format_fault_report, triage_campaign, triage_json
+    from repro.experiments.grids import fuzz_grid
+
+    grid = fuzz_grid(campaign_seed=args.seed, seeds=args.seeds)
+    result = run_campaign(grid, workers=args.workers, cache_dir=args.cache_dir)
+    triage = triage_campaign(result, goodput_floor=args.goodput_floor)
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(triage_json(triage))
+    failed = triage["verdicts"].get("failed", 0)
+    code = 1 if (args.fail_on_failed and failed) else 0
+    return format_fault_report(triage), code
+
+
+def _run_shrink(args: argparse.Namespace) -> HandlerResult:
+    import os
+
+    from repro.faults.plan import FaultPlan
+    from repro.faults.plans import NAMED_PLANS
+    from repro.faults.shrink import (
+        cell_failure_predicate,
+        counterexample_artifact,
+        shrink_plan,
+        write_counterexample,
+    )
+
+    if args.plan is None:
+        raise SystemExit("fuzz --shrink requires --plan NAME_OR_PATH")
+    plan_name = None
+    base_scenario = args.base_scenario
+    if args.plan in NAMED_PLANS:
+        named = NAMED_PLANS[args.plan]
+        plan_name = named.name
+        plan = named.build(args.horizon) if args.horizon is not None else named.build()
+        if base_scenario is None:
+            base_scenario = named.base_scenario
+    elif os.path.exists(args.plan):
+        plan = FaultPlan.load(args.plan)
+    else:
+        raise SystemExit(
+            f"--plan {args.plan!r} is neither a named plan "
+            f"({sorted(NAMED_PLANS)}) nor a file"
+        )
+    if base_scenario is None:
+        raise SystemExit("fuzz --shrink with a plan file requires --base-scenario")
+    # The cell must run at least as long as the plan's own schedule, or a
+    # plan that fails at its recorded horizon stops failing here.
+    horizon = args.horizon if args.horizon is not None else plan.horizon
+
+    params = json.loads(args.params) if args.params else {}
+    predicate, _clean = cell_failure_predicate(
+        workload=args.workload,
+        base_scenario=base_scenario,
+        seed=args.seed,
+        horizon=horizon,
+        params=params,
+        controller=args.controller,
+        scheduler=args.scheduler,
+        goodput_floor=args.goodput_floor,
+    )
+    try:
+        result = shrink_plan(plan, predicate)
+    except ValueError as error:
+        return f"nothing to shrink: {error}", 1
+    artifact = counterexample_artifact(
+        result,
+        workload=args.workload,
+        base_scenario=base_scenario,
+        seed=args.seed,
+        horizon=horizon,
+        params=params,
+        controller=args.controller,
+        scheduler=args.scheduler,
+        plan_name=plan_name,
+    )
+    if args.out is not None:
+        write_counterexample(artifact, args.out)
+    lines = [
+        f"shrunk {len(result.original)} events to {len(result.minimal)} "
+        f"in {result.evaluations} evaluations:",
+    ]
+    lines.extend(f"  {event.describe()}" for event in result.minimal.events)
+    if args.out is not None:
+        lines.append(f"counterexample written to {args.out}")
+    return "\n".join(lines)
+
+
 def _run_cell(args: argparse.Namespace) -> str:
     """Run one harness cell named entirely by registry entries."""
     from repro.workloads import Harness, HarnessSpec
@@ -157,16 +257,27 @@ def _run_cell(args: argparse.Namespace) -> str:
 def _list_registries(args: argparse.Namespace) -> str:
     """Print every axis of the workload × scenario × controller grid."""
     from repro.experiments.grids import figure_campaigns
+    from repro.faults import FAULT_MODELS, MIDDLEBOXES, NAMED_PLANS
     from repro.mptcp.scheduler import SCHEDULER_REGISTRY
     from repro.workloads import CONTROLLERS, PROBES, SCENARIOS, WORKLOADS
 
-    grids = ["quick", "default", "full", "workloads"] + sorted(figure_campaigns())
+    grids = ["quick", "default", "full", "workloads", "fuzz"] + sorted(figure_campaigns())
+    fault_models = [
+        f"{name} — {FAULT_MODELS[name].description}" for name in sorted(FAULT_MODELS)
+    ]
+    fault_plans = [
+        f"{name} — {NAMED_PLANS[name].description} (base: {NAMED_PLANS[name].base_scenario})"
+        for name in sorted(NAMED_PLANS)
+    ]
     sections = [
         ("workloads (sweep experiments)", sorted(WORKLOADS)),
         ("scenarios", sorted(SCENARIOS)),
         ("controllers", sorted(CONTROLLERS)),
         ("schedulers", sorted(SCHEDULER_REGISTRY)),
         ("probes", sorted(PROBES)),
+        ("middleboxes", sorted(MIDDLEBOXES)),
+        ("fault models", fault_models),
+        ("fault plans (named)", fault_plans),
         ("grids", grids),
     ]
     lines = []
@@ -176,7 +287,8 @@ def _list_registries(args: argparse.Namespace) -> str:
             lines.append(f"  {name}")
     lines.append(
         "any workload x scenario x controller x scheduler combination runs via "
-        "'cell' or as a sweep grid axis"
+        "'cell' or as a sweep grid axis; 'fuzz' sweeps fault-plan seeds and "
+        "'fuzz --shrink' minimises a failing plan"
     )
     return "\n".join(lines)
 
@@ -192,11 +304,13 @@ EXPERIMENTS: dict[str, Callable[[argparse.Namespace], HandlerResult]] = {
     "list": _list_registries,
     "baseline": _run_baseline,
     "diff": _run_diff,
+    "fuzz": _run_fuzz,
 }
 
 #: Subcommands ``all`` does not run: campaigns, single cells, the registry
-#: listing and the regression-gate pair are opt-in via their own names.
-OPT_IN = frozenset({"sweep", "cell", "list", "baseline", "diff"})
+#: listing, the regression-gate pair and the fuzzer are opt-in via their
+#: own names.
+OPT_IN = frozenset({"sweep", "cell", "list", "baseline", "diff", "fuzz"})
 
 
 def _add_figure_options(parser: argparse.ArgumentParser, figures: Sequence[str]) -> None:
@@ -238,8 +352,8 @@ def _add_campaign_options(
     name, so only ``sweep`` keeps the ``default`` grid default.
     """
     grid_help = (
-        "named campaign grid (quick, default, full, workloads, fig2a, fig2b, "
-        "fig2c, fig3, longlived)"
+        "named campaign grid (quick, default, full, workloads, fuzz, fig2a, "
+        "fig2b, fig2c, fig3, longlived)"
     )
     if grid_required:
         parser.add_argument("--grid", required=True, help=grid_help)
@@ -323,6 +437,45 @@ def build_parser() -> argparse.ArgumentParser:
     diff_parser.add_argument(
         "--json", default=None, help="also write the machine-readable diff JSON here"
     )
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        parents=[seed_parent],
+        help="run a fault-injection fuzz campaign, or --shrink a failing plan",
+    )
+    fuzz_parser.add_argument("--seeds", type=int, default=2,
+                             help="fault-plan seeds per scenario (the fuzz axis)")
+    fuzz_parser.add_argument("--workers", type=int, default=1, help="worker processes")
+    fuzz_parser.add_argument("--cache-dir", default=None,
+                             help="directory for the on-disk cell cache")
+    fuzz_parser.add_argument("--json", default=None,
+                             help="also write the byte-stable triage JSON here")
+    fuzz_parser.add_argument("--goodput-floor", type=float, default=0.5,
+                             help="retained-goodput fraction below which a cell is degraded")
+    fuzz_parser.add_argument("--fail-on-failed", action="store_true",
+                             help="exit non-zero when any faulted cell fails outright")
+    fuzz_parser.add_argument("--shrink", action="store_true",
+                             help="minimise a failing fault plan instead of running a campaign")
+    fuzz_parser.add_argument("--plan", default=None,
+                             help="shrink: named fault plan or path to a plan JSON file")
+    fuzz_parser.add_argument("--workload", default="bulk_transfer",
+                             help="shrink: workload of the failing cell")
+    fuzz_parser.add_argument("--base-scenario", default=None,
+                             help="shrink: clean scenario the plan targets "
+                             "(defaults to the named plan's)")
+    fuzz_parser.add_argument("--controller", default="passive",
+                             help="shrink: controller of the failing cell")
+    fuzz_parser.add_argument("--scheduler", default="lowest_rtt",
+                             help="shrink: scheduler of the failing cell")
+    fuzz_parser.add_argument("--horizon", type=float, default=None,
+                             help="shrink: simulated run horizon in seconds "
+                             "(defaults to the plan's own horizon)")
+    fuzz_parser.add_argument("--params", default=None,
+                             help="shrink: workload parameters as a JSON object — "
+                             "must match the cell the plan failed in (the fuzz "
+                             "grid uses e.g. {\"transfer_bytes\": 60000})")
+    fuzz_parser.add_argument("--out", default=None,
+                             help="shrink: write the counterexample artifact here")
 
     cell_parser = subparsers.add_parser(
         "cell", parents=[seed_parent], help="run one harness cell by registry names"

@@ -1,0 +1,88 @@
+"""Deterministic adversarial fault injection and fuzz campaigns.
+
+The subsystem turns hostile-network behaviour — option stripping, DSS
+corruption, sequence rewriting, segment splitting/coalescing, NAT
+rebinding, link flaps, reordering, loss bursts — into a first-class,
+sweepable axis:
+
+* :mod:`repro.faults.plan` — explicit, seed-derived, serializable fault
+  schedules (:class:`FaultPlan`);
+* :mod:`repro.faults.models` — the fault model library and the
+  per-choke-point :class:`MutationEngine`;
+* :mod:`repro.faults.inject` — plan scheduling, the link-level fault
+  filter and the :func:`faulted` scenario combinator;
+* :mod:`repro.faults.middlebox` — the plan-driven
+  :class:`FaultingMiddlebox`;
+* :mod:`repro.faults.catalog` — registered ``faulted_*`` scenario
+  variants and their clean twins;
+* :mod:`repro.faults.plans` — curated, named fault plans;
+* :mod:`repro.faults.shrink` — ddmin minimisation of failing plans into
+  committable counterexample artifacts.
+"""
+
+from repro.faults.plan import FAULT_FORMAT_VERSION, FaultEvent, FaultPlan
+from repro.faults.models import (
+    FAULT_MODELS,
+    PROFILES,
+    FaultModel,
+    MutationEngine,
+    profile_models,
+)
+from repro.faults.middlebox import MIDDLEBOXES, FaultingMiddlebox
+from repro.faults.inject import (
+    DEFAULT_FAULT_HORIZON,
+    FaultedScenario,
+    FaultInjector,
+    LinkFaultFilter,
+    fault_targets,
+    faulted,
+)
+from repro.faults.plans import NAMED_PLANS, NamedPlan, named_plan
+from repro.faults.catalog import (
+    FAULTED_SCENARIOS,
+    build_faulted_path,
+    register_faulted_variant,
+)
+from repro.faults.shrink import (
+    COUNTEREXAMPLE_FORMAT_VERSION,
+    ShrinkResult,
+    cell_failure_predicate,
+    counterexample_artifact,
+    counterexample_json,
+    load_counterexample,
+    shrink_plan,
+    write_counterexample,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FAULT_FORMAT_VERSION",
+    "FaultModel",
+    "FAULT_MODELS",
+    "PROFILES",
+    "profile_models",
+    "MutationEngine",
+    "FaultingMiddlebox",
+    "MIDDLEBOXES",
+    "FaultInjector",
+    "FaultedScenario",
+    "LinkFaultFilter",
+    "fault_targets",
+    "faulted",
+    "DEFAULT_FAULT_HORIZON",
+    "NamedPlan",
+    "NAMED_PLANS",
+    "named_plan",
+    "FAULTED_SCENARIOS",
+    "build_faulted_path",
+    "register_faulted_variant",
+    "ShrinkResult",
+    "shrink_plan",
+    "cell_failure_predicate",
+    "counterexample_artifact",
+    "counterexample_json",
+    "write_counterexample",
+    "load_counterexample",
+    "COUNTEREXAMPLE_FORMAT_VERSION",
+]

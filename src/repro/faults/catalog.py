@@ -1,0 +1,78 @@
+"""Faulted scenario variants: adversarial behaviour as a sweepable axis.
+
+Every entry registered here pairs an existing scenario with a seed-derived
+fault plan, so each one is immediately a sweep axis value for every
+registered workload — the ``workloads`` grid picks them up automatically,
+and the dedicated ``fuzz`` grid sweeps the fault-plan seed.
+:data:`FAULTED_SCENARIOS` records each variant's *clean twin*, which is
+what :mod:`repro.analysis.faults` diffs robustness against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.inject import (
+    DEFAULT_FAULT_HORIZON,
+    FaultedScenario,
+    FaultInjector,
+    faulted,
+)
+from repro.faults.middlebox import FaultingMiddlebox
+from repro.faults.plan import FaultPlan
+from repro.netem.scenarios import build_middlebox_path
+from repro.sim.engine import Simulator
+from repro.sim.randomness import derive_seed
+from repro.workloads.registry import SCENARIOS, register_scenario
+
+#: Faulted scenario name → the clean scenario it should be compared to.
+FAULTED_SCENARIOS: dict[str, str] = {}
+
+
+def register_faulted_variant(name: str, base_name: str, profile: str = "default") -> None:
+    """Register ``faulted(<base>)`` as a scenario with a recorded clean twin."""
+    base_builder = SCENARIOS[base_name]
+    register_scenario(name, faulted(base_builder, base_name, profile=profile))
+    FAULTED_SCENARIOS[name] = base_name
+
+
+def build_faulted_path(
+    sim: Simulator,
+    plan: Optional[FaultPlan] = None,
+    fault_seed: Optional[int] = None,
+    profile: str = "segment",
+    horizon: float = DEFAULT_FAULT_HORIZON,
+) -> FaultedScenario:
+    """Dual-homed topology with a plan-driven FaultingMiddlebox on path 0.
+
+    Unlike the link-level ``faulted_*`` variants, the adversary here is a
+    single device on the primary path (the paper's §3 middlebox), so
+    segment mutations happen in the middle of one path while the secondary
+    path stays honest.  The plan's only target is the middlebox.
+    """
+    base = build_middlebox_path(
+        sim,
+        "faulted-path",
+        lambda topo: topo.add_middlebox(FaultingMiddlebox(sim, "mbox")),
+        leg_prefix="mbox",
+    )
+    box = base.middlebox
+    if plan is None:
+        seed = (
+            fault_seed
+            if fault_seed is not None
+            else derive_seed(sim.random.seed, "fault-plan", "faulted_path", profile)
+        )
+        plan = FaultPlan.generate(
+            seed, targets=[box.target_name], profile=profile, horizon=horizon
+        )
+    injector = FaultInjector(sim, {box.target_name: box.engine}, plan)
+    injector.install()
+    return FaultedScenario(base, injector, plan)
+
+
+register_faulted_variant("faulted_dual_homed", "dual_homed")
+register_faulted_variant("faulted_lan", "lan")
+register_faulted_variant("faulted_natted", "natted")
+register_scenario("faulted_path", build_faulted_path)
+FAULTED_SCENARIOS["faulted_path"] = "dual_homed"

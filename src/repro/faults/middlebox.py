@@ -1,0 +1,52 @@
+"""A bump-in-the-wire middlebox that mutates traffic per a fault plan.
+
+Where the link-level fault filter models path impairments, the
+:class:`FaultingMiddlebox` models the paper's §3 adversary proper: a
+device in the middle of one path that strips options, corrupts DSS
+mappings, rewrites sequence numbers and splits or coalesces segments —
+while the rest of the network stays healthy.  It shares the
+:class:`~repro.faults.models.MutationEngine` with the link filter, so the
+same plan vocabulary drives both.
+"""
+
+from __future__ import annotations
+
+from repro.faults.models import MutationEngine
+from repro.net.interface import Interface
+from repro.net.middlebox import NatFirewall, OptionStrippingMiddlebox, TwoLeggedMiddlebox
+from repro.net.packet import Segment
+from repro.sim.engine import Simulator
+
+
+class FaultingMiddlebox(TwoLeggedMiddlebox):
+    """A two-legged middlebox applying plan-driven segment mutations.
+
+    The mutation engine is exposed so a
+    :class:`~repro.faults.inject.FaultInjector` can address this box as a
+    plan target (conventionally named ``mbox:<name>``).
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        super().__init__(sim, name)
+        self.engine = MutationEngine(sim, f"mbox:{name}", self._reinject)
+
+    @property
+    def target_name(self) -> str:
+        """The plan-target name this box answers to."""
+        return self.engine.label
+
+    def receive(self, segment: Segment, iface: Interface) -> None:
+        for survivor in self.engine.process(segment, iface):
+            self._forward(survivor, iface)
+
+    def _reinject(self, segment: Segment, iface: Interface) -> None:
+        # Held segments were already mutated; forward them directly.
+        self._forward(segment, iface)
+
+
+#: The middlebox classes the runner's ``list`` subcommand advertises.
+MIDDLEBOXES: dict[str, type] = {
+    "nat_firewall": NatFirewall,
+    "option_stripper": OptionStrippingMiddlebox,
+    "faulting": FaultingMiddlebox,
+}

@@ -1,0 +1,227 @@
+"""Explicit, serializable fault schedules.
+
+A :class:`FaultPlan` is the unit the fuzz campaign sweeps over: a list of
+``(time, target, mutation, params)`` events, generated deterministically
+from a seed (HISTEX-style: the randomness happens once, at generation —
+applying a plan is pure replay).  Because the schedule is explicit and
+JSON-serializable, a failing plan can be committed as a counterexample,
+shipped between machines, and shrunk event by event
+(:mod:`repro.faults.shrink`) without ever re-rolling the dice.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.sim.randomness import RandomSource
+
+#: Bump when the serialized plan schema changes incompatibly.
+FAULT_FORMAT_VERSION = 1
+
+
+def _freeze_params(params: Optional[Mapping[str, object]]) -> tuple[tuple[str, object], ...]:
+    return tuple(sorted((params or {}).items()))
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: at ``time``, apply ``mutation`` to ``target``.
+
+    ``target`` names a link of the faulted scenario (or a faulting
+    middlebox, prefixed ``mbox:``); ``mutation`` names an entry of
+    :data:`repro.faults.models.FAULT_MODELS`.
+    """
+
+    time: float
+    target: str
+    mutation: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"fault event time cannot be negative: {self.time!r}")
+        if not isinstance(self.params, tuple):
+            object.__setattr__(self, "params", _freeze_params(self.params))
+
+    @property
+    def param_dict(self) -> dict[str, object]:
+        """The event parameters as a plain dict."""
+        return dict(self.params)
+
+    @property
+    def duration(self) -> Optional[float]:
+        """The active window length for windowed mutations (``None`` if instant)."""
+        value = self.param_dict.get("duration")
+        return float(value) if value is not None else None
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (the serialized event schema)."""
+        return {
+            "time": self.time,
+            "target": self.target,
+            "mutation": self.mutation,
+            "params": {key: value for key, value in self.params},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultEvent":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            time=float(data["time"]),
+            target=str(data["target"]),
+            mutation=str(data["mutation"]),
+            params=_freeze_params(data.get("params")),
+        )
+
+    def describe(self) -> str:
+        """One-line human rendering (used by reports and the shrink log)."""
+        params = ", ".join(f"{key}={value}" for key, value in self.params)
+        suffix = f" ({params})" if params else ""
+        return f"t={self.time:g} {self.target}: {self.mutation}{suffix}"
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of fault events for one run.
+
+    ``seed`` and ``profile`` record the plan's provenance; the events list
+    is the plan.  Two plans with equal events behave identically regardless
+    of provenance, which is what lets the shrinker drop events while
+    keeping the original seed for the audit trail.
+    """
+
+    seed: int = 0
+    profile: str = "default"
+    horizon: float = 15.0
+    events: tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        self.events = tuple(self.events)
+        if self.horizon <= 0:
+            raise ValueError(f"plan horizon must be positive, got {self.horizon!r}")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def targets(self) -> list[str]:
+        """The distinct targets the plan touches, sorted."""
+        return sorted({event.target for event in self.events})
+
+    def validate(self, targets: Sequence[str]) -> None:
+        """Check every event against the known mutation and target names."""
+        from repro.faults.models import FAULT_MODELS
+
+        known = set(targets)
+        for event in self.events:
+            if event.mutation not in FAULT_MODELS:
+                raise ValueError(
+                    f"unknown fault model {event.mutation!r} (have {sorted(FAULT_MODELS)})"
+                )
+            if event.target not in known:
+                raise ValueError(
+                    f"fault event targets unknown {event.target!r} (have {sorted(known)})"
+                )
+
+    def subset(self, indices: Sequence[int]) -> "FaultPlan":
+        """A plan keeping only the events at ``indices`` (provenance kept)."""
+        picked = sorted(set(indices))
+        if any(index < 0 or index >= len(self.events) for index in picked):
+            raise IndexError(f"event index out of range for {len(self.events)}-event plan")
+        return FaultPlan(
+            seed=self.seed,
+            profile=self.profile,
+            horizon=self.horizon,
+            events=tuple(self.events[index] for index in picked),
+        )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """Plain-dict form (the committed-artifact schema)."""
+        return {
+            "fault_format_version": FAULT_FORMAT_VERSION,
+            "seed": int(self.seed),
+            "profile": self.profile,
+            "horizon": self.horizon,
+            "events": [event.as_dict() for event in self.events],
+        }
+
+    def to_json(self) -> str:
+        """Deterministic serialization (sorted keys, stable separators)."""
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "FaultPlan":
+        """Parse a deserialized plan, checking the schema version."""
+        version = payload.get("fault_format_version")
+        if version != FAULT_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported fault plan format version {version!r} "
+                f"(expected {FAULT_FORMAT_VERSION})"
+            )
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            profile=str(payload.get("profile", "default")),
+            horizon=float(payload.get("horizon", 15.0)),
+            events=tuple(FaultEvent.from_dict(entry) for entry in payload["events"]),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_payload(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        """Load a plan from a JSON file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def save(self, path: str) -> None:
+        """Write the plan to a JSON file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    # ------------------------------------------------------------------
+    # generation
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        targets: Sequence[str],
+        profile: str = "default",
+        horizon: float = 15.0,
+        min_events: int = 3,
+        max_events: int = 7,
+    ) -> "FaultPlan":
+        """Derive a plan deterministically from ``seed``.
+
+        The same ``(seed, targets, profile, horizon)`` always yields the
+        same plan, byte for byte — the property the fuzz grid's seed axis
+        and the triage byte-identity guarantee rest on.  Event times stay
+        inside ``[0.05, 0.85] × horizon`` so the initial handshake gets a
+        chance to happen and late events still have time to hurt.
+        """
+        from repro.faults.models import FAULT_MODELS, profile_models
+
+        if not targets:
+            raise ValueError("cannot generate a fault plan without targets")
+        if not min_events or min_events > max_events:
+            raise ValueError(f"bad event count range [{min_events}, {max_events}]")
+        rng = RandomSource(int(seed))
+        names = profile_models(profile)
+        ordered_targets = sorted(targets)
+        events = []
+        for _ in range(rng.randint(min_events, max_events)):
+            time = round(rng.uniform(0.05 * horizon, 0.85 * horizon), 4)
+            target = rng.choice(ordered_targets)
+            mutation = rng.choice(names)
+            params = FAULT_MODELS[mutation].generate_params(rng, horizon)
+            events.append(FaultEvent(time=time, target=target, mutation=mutation, params=_freeze_params(params)))
+        events.sort(key=lambda event: (event.time, event.target, event.mutation, event.params))
+        return cls(seed=int(seed), profile=profile, horizon=horizon, events=tuple(events))

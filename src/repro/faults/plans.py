@@ -1,0 +1,110 @@
+"""Hand-written fault plans with names.
+
+Where the fuzz grid derives plans from seeds, these are the curated
+adversaries: known middlebox behaviours worth running on purpose (and one
+deliberately fatal plan the shrink workflow demonstrates on).  Each entry
+documents which base scenario its target names belong to; ``runner list``
+prints the catalogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.faults.plan import FaultEvent, FaultPlan
+
+
+@dataclass(frozen=True)
+class NamedPlan:
+    """A curated fault plan: builder plus the scenario it targets."""
+
+    name: str
+    base_scenario: str
+    description: str
+    build: Callable[[float], FaultPlan]
+
+
+def _plan(name: str, horizon: float, events: list[FaultEvent]) -> FaultPlan:
+    return FaultPlan(seed=0, profile=f"named:{name}", horizon=horizon, events=tuple(events))
+
+
+def addaddr_strip(horizon: float = 15.0) -> FaultPlan:
+    """Strip ADD_ADDR on the primary path for (almost) the whole run."""
+    return _plan(
+        "addaddr_strip",
+        horizon,
+        [
+            FaultEvent(0.1, "path0", "strip_option",
+                       (("duration", horizon), ("option", "AddAddrOption"))),
+        ],
+    )
+
+
+def dss_storm(horizon: float = 15.0) -> FaultPlan:
+    """Corrupt DSS checksums on both paths in overlapping windows."""
+    return _plan(
+        "dss_storm",
+        horizon,
+        [
+            FaultEvent(0.2, "path0", "corrupt_dss", (("duration", 0.2 * horizon),)),
+            FaultEvent(0.3, "path1", "corrupt_dss", (("duration", 0.2 * horizon),)),
+        ],
+    )
+
+
+def rebind_flurry(horizon: float = 15.0) -> FaultPlan:
+    """Three NAT rebinds in quick succession on the primary path."""
+    times = (0.2 * horizon, 0.4 * horizon, 0.6 * horizon)
+    return _plan(
+        "rebind_flurry",
+        horizon,
+        [FaultEvent(round(t, 4), "path0", "nat_rebind") for t in times],
+    )
+
+
+def known_bad_dual_homed(horizon: float = 15.0) -> FaultPlan:
+    """A deliberately fatal plan for the shrink demonstration.
+
+    Four harmless noise events plus one fatal one: a link flap that
+    blackholes path 0 — the only path a ``passive`` bulk transfer uses —
+    for the rest of the run.  Shrinking against that cell must reduce the
+    plan to exactly the flap event.
+    """
+    return _plan(
+        "known_bad_dual_homed",
+        horizon,
+        [
+            FaultEvent(0.05, "path1", "strip_option",
+                       (("duration", 2.0), ("option", "AddAddrOption"))),
+            FaultEvent(0.06, "path1", "split_segment",
+                       (("duration", 2.0), ("min_payload", 512))),
+            FaultEvent(0.08, "path1", "reorder",
+                       (("delay", 0.02), ("duration", 2.0), ("every", 3))),
+            FaultEvent(0.1, "path0", "link_flap", (("duration", horizon),)),
+            FaultEvent(0.12, "path1", "nat_rebind"),
+        ],
+    )
+
+
+NAMED_PLANS: dict[str, NamedPlan] = {
+    plan.name: plan
+    for plan in (
+        NamedPlan("addaddr_strip", "dual_homed",
+                  "ADD_ADDR stripped on the primary path all run", addaddr_strip),
+        NamedPlan("dss_storm", "dual_homed",
+                  "DSS mappings corrupted on both paths", dss_storm),
+        NamedPlan("rebind_flurry", "dual_homed",
+                  "three NAT rebinds on the primary path", rebind_flurry),
+        NamedPlan("known_bad_dual_homed", "dual_homed",
+                  "fatal path-0 blackout plus noise (the shrink demo)", known_bad_dual_homed),
+    )
+}
+
+
+def named_plan(name: str, horizon: float = 15.0) -> FaultPlan:
+    """Build a curated plan by name."""
+    try:
+        return NAMED_PLANS[name].build(horizon)
+    except KeyError:
+        raise ValueError(f"unknown fault plan {name!r} (have {sorted(NAMED_PLANS)})") from None

@@ -79,6 +79,7 @@ class Link:
         self._directions: dict[int, _Direction] = {}
         self._rng = sim.random.substream(f"link:{name}")
         self._observers: list[Callable[[Segment, Interface, Interface], None]] = []
+        self._fault_handler: Optional[Callable[[Segment, Interface], list[Segment]]] = None
 
     # ------------------------------------------------------------------
     # configuration
@@ -162,6 +163,31 @@ class Link:
         """
         self._observers.append(callback)
 
+    def set_fault_handler(
+        self, handler: Optional[Callable[[Segment, Interface], list[Segment]]]
+    ) -> None:
+        """Install (or clear) a fault handler on this link's ingress.
+
+        The handler is called as ``handler(segment, from_iface)`` for every
+        segment entering the link and returns the segments that actually
+        enter — possibly empty (drop), the original (pass), a mutated copy,
+        or several (split).  A handler that holds a segment for later
+        re-emits it through :meth:`inject`, which bypasses the handler so
+        re-injected traffic is not mutated twice.  This is the hook
+        :mod:`repro.faults` drives; only one handler can be installed.
+        """
+        if handler is not None and self._fault_handler is not None:
+            raise RuntimeError(f"link {self._name} already has a fault handler")
+        self._fault_handler = handler
+
+    def inject(self, segment: Segment, from_iface: Interface) -> None:
+        """Enter a segment into the link, bypassing the fault handler."""
+        if id(from_iface) not in self._directions:
+            raise RuntimeError(
+                f"interface {from_iface.full_name} is not attached to link {self._name}"
+            )
+        self._admit(segment, from_iface, self._directions[id(from_iface)])
+
     # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
@@ -183,6 +209,13 @@ class Link:
         if id(from_iface) not in self._directions:
             raise RuntimeError(f"interface {from_iface.full_name} is not attached to link {self._name}")
         direction = self._directions[id(from_iface)]
+        if self._fault_handler is not None:
+            for survivor in self._fault_handler(segment, from_iface):
+                self._admit(survivor, from_iface, direction)
+            return
+        self._admit(segment, from_iface, direction)
+
+    def _admit(self, segment: Segment, from_iface: Interface, direction: _Direction) -> None:
         if direction.busy:
             if len(direction.queue) >= self._queue_capacity:
                 direction.dropped_queue += 1

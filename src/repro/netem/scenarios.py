@@ -219,17 +219,19 @@ def build_lan(
 
 
 @dataclass
-class NattedScenario:
-    """Dual-homed client where the primary path crosses a stateful NAT.
+class MiddleboxPathScenario:
+    """Dual-homed client whose primary path crosses a two-legged middlebox.
 
-    This is the §4.1 setting: the NAT drops the state of idle flows after a
-    (configurable, aggressive) timeout, silently killing idle subflows.
+    The shared shape behind the §4.1 NAT topology, the §3 option-stripper
+    topology and the fault-injection topologies of :mod:`repro.faults`:
+    path 0 runs client → middlebox → server, path 1 is a slower direct
+    link so the scheduler prefers the middlebox path.
     """
 
     topology: Topology
     client: Host
     server: Host
-    nat: NatFirewall
+    middlebox: object
     path_links: list[Link]
     client_addresses: list[IPAddress]
     server_addresses: list[IPAddress]
@@ -238,6 +240,83 @@ class NattedScenario:
     def sim(self) -> Simulator:
         """The simulation engine."""
         return self.topology.sim
+
+
+def build_middlebox_path(
+    sim: Simulator,
+    name: str,
+    attach_middlebox,
+    leg_prefix: str,
+    rate_mbps: float = 10.0,
+    delay_ms: float = 10.0,
+    direct_delay_ms: float = 30.0,
+    scenario_cls: type = MiddleboxPathScenario,
+) -> MiddleboxPathScenario:
+    """Build the middlebox-on-the-primary-path topology.
+
+    ``attach_middlebox(topology)`` creates (and registers) the two-legged
+    middlebox; ``leg_prefix`` names the two primary-path legs
+    (``client-<prefix>`` and ``<prefix>-server``), preserved per concrete
+    scenario so packet traces stay recognisable.  ``scenario_cls`` lets a
+    concrete scenario construct its own :class:`MiddleboxPathScenario`
+    subclass directly.
+    """
+    topo = Topology(sim, name=name)
+    client = topo.add_host("client")
+    server = topo.add_host("server")
+    box = attach_middlebox(topo)
+    box.attach("10.0.0.254", "10.0.1.254")
+
+    client_addresses = [IPAddress("10.0.0.1"), IPAddress("10.1.0.1")]
+    server_addresses = [IPAddress("10.0.1.2"), IPAddress("10.1.0.2")]
+
+    links = [
+        topo.add_link(
+            f"client-{leg_prefix}",
+            (client, "if0", client_addresses[0]),
+            box.interface(box.INSIDE),
+            rate_mbps=rate_mbps,
+            delay_ms=delay_ms / 2,
+        ),
+        topo.add_link(
+            f"{leg_prefix}-server",
+            box.interface(box.OUTSIDE),
+            (server, "if0", server_addresses[0]),
+            rate_mbps=rate_mbps,
+            delay_ms=delay_ms / 2,
+        ),
+        topo.add_link(
+            "direct",
+            (client, "if1", client_addresses[1]),
+            (server, "if1", server_addresses[1]),
+            rate_mbps=rate_mbps,
+            # The backup path is slower (higher RTT) so that the scheduler
+            # prefers the middlebox path, which is what makes the failure /
+            # repair cycle observable.
+            delay_ms=direct_delay_ms,
+        ),
+    ]
+    client.add_route(server_addresses[0], "if0")
+    client.add_route(server_addresses[1], "if1")
+    server.add_route(client_addresses[0], "if0")
+    server.add_route(client_addresses[1], "if1")
+    return scenario_cls(
+        topo, client, server, box, links, client_addresses, server_addresses
+    )
+
+
+@dataclass
+class NattedScenario(MiddleboxPathScenario):
+    """Dual-homed client where the primary path crosses a stateful NAT.
+
+    This is the §4.1 setting: the NAT drops the state of idle flows after a
+    (configurable, aggressive) timeout, silently killing idle subflows.
+    """
+
+    @property
+    def nat(self) -> NatFirewall:
+        """The NAT/firewall on the primary path."""
+        return self.middlebox
 
 
 def build_natted(
@@ -249,46 +328,16 @@ def build_natted(
     direct_delay_ms: float = 30.0,
 ) -> NattedScenario:
     """Build the NAT-on-the-primary-path topology of §4.1."""
-    topo = Topology(sim, name="natted")
-    client = topo.add_host("client")
-    server = topo.add_host("server")
-    nat = topo.add_nat("nat", idle_timeout=nat_idle_timeout, send_rst=nat_sends_rst)
-    nat.attach("10.0.0.254", "10.0.1.254")
-
-    client_addresses = [IPAddress("10.0.0.1"), IPAddress("10.1.0.1")]
-    server_addresses = [IPAddress("10.0.1.2"), IPAddress("10.1.0.2")]
-
-    links = [
-        topo.add_link(
-            "client-nat",
-            (client, "if0", client_addresses[0]),
-            nat.interface(NatFirewall.INSIDE),
-            rate_mbps=rate_mbps,
-            delay_ms=delay_ms / 2,
-        ),
-        topo.add_link(
-            "nat-server",
-            nat.interface(NatFirewall.OUTSIDE),
-            (server, "if0", server_addresses[0]),
-            rate_mbps=rate_mbps,
-            delay_ms=delay_ms / 2,
-        ),
-        topo.add_link(
-            "direct",
-            (client, "if1", client_addresses[1]),
-            (server, "if1", server_addresses[1]),
-            rate_mbps=rate_mbps,
-            # The backup path is slower (higher RTT) so that the scheduler
-            # prefers the NAT path, which is what makes the §4.1 failure /
-            # repair cycle observable.
-            delay_ms=direct_delay_ms,
-        ),
-    ]
-    client.add_route(server_addresses[0], "if0")
-    client.add_route(server_addresses[1], "if1")
-    server.add_route(client_addresses[0], "if0")
-    server.add_route(client_addresses[1], "if1")
-    return NattedScenario(topo, client, server, nat, links, client_addresses, server_addresses)
+    return build_middlebox_path(
+        sim,
+        "natted",
+        lambda topo: topo.add_nat("nat", idle_timeout=nat_idle_timeout, send_rst=nat_sends_rst),
+        leg_prefix="nat",
+        rate_mbps=rate_mbps,
+        delay_ms=delay_ms,
+        direct_delay_ms=direct_delay_ms,
+        scenario_cls=NattedScenario,
+    )
 
 
 def _build_two_path(
@@ -451,7 +500,7 @@ def build_path_failure_recovery(
 
 
 @dataclass
-class StrippedAddAddrScenario:
+class StrippedAddAddrScenario(MiddleboxPathScenario):
     """Dual-path topology whose primary path strips ADD_ADDR options.
 
     The middlebox forwards everything else untouched, so the connection
@@ -460,18 +509,10 @@ class StrippedAddAddrScenario:
     the advertisement (§3 of the paper).
     """
 
-    topology: Topology
-    client: Host
-    server: Host
-    stripper: OptionStrippingMiddlebox
-    path_links: list[Link]
-    client_addresses: list[IPAddress]
-    server_addresses: list[IPAddress]
-
     @property
-    def sim(self) -> Simulator:
-        """The simulation engine."""
-        return self.topology.sim
+    def stripper(self) -> OptionStrippingMiddlebox:
+        """The option-stripping middlebox on the primary path."""
+        return self.middlebox
 
 
 def build_addaddr_stripped(
@@ -483,42 +524,13 @@ def build_addaddr_stripped(
     """Build the ADD_ADDR-stripping-middlebox topology."""
     from repro.mptcp.options import AddAddrOption
 
-    topo = Topology(sim, name="addaddr-stripped")
-    client = topo.add_host("client")
-    server = topo.add_host("server")
-    stripper = topo.add_option_stripper("stripper", strip_options=(AddAddrOption,))
-    stripper.attach("10.0.0.254", "10.0.1.254")
-
-    client_addresses = [IPAddress("10.0.0.1"), IPAddress("10.1.0.1")]
-    server_addresses = [IPAddress("10.0.1.2"), IPAddress("10.1.0.2")]
-
-    links = [
-        topo.add_link(
-            "client-stripper",
-            (client, "if0", client_addresses[0]),
-            stripper.interface(OptionStrippingMiddlebox.INSIDE),
-            rate_mbps=rate_mbps,
-            delay_ms=delay_ms / 2,
-        ),
-        topo.add_link(
-            "stripper-server",
-            stripper.interface(OptionStrippingMiddlebox.OUTSIDE),
-            (server, "if0", server_addresses[0]),
-            rate_mbps=rate_mbps,
-            delay_ms=delay_ms / 2,
-        ),
-        topo.add_link(
-            "direct",
-            (client, "if1", client_addresses[1]),
-            (server, "if1", server_addresses[1]),
-            rate_mbps=rate_mbps,
-            delay_ms=secondary_delay_ms,
-        ),
-    ]
-    client.add_route(server_addresses[0], "if0")
-    client.add_route(server_addresses[1], "if1")
-    server.add_route(client_addresses[0], "if0")
-    server.add_route(client_addresses[1], "if1")
-    return StrippedAddAddrScenario(
-        topo, client, server, stripper, links, client_addresses, server_addresses
+    return build_middlebox_path(
+        sim,
+        "addaddr-stripped",
+        lambda topo: topo.add_option_stripper("stripper", strip_options=(AddAddrOption,)),
+        leg_prefix="stripper",
+        rate_mbps=rate_mbps,
+        delay_ms=delay_ms,
+        direct_delay_ms=secondary_delay_ms,
+        scenario_cls=StrippedAddAddrScenario,
     )

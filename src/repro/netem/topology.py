@@ -101,21 +101,24 @@ class Topology:
         self._routers[name] = router
         return router
 
+    def add_middlebox(self, box: Node) -> Node:
+        """Register an already constructed middlebox node with the topology."""
+        if box.name in self._middleboxes:
+            raise ValueError(f"duplicate middlebox name {box.name!r}")
+        self._middleboxes[box.name] = box
+        return box
+
     def add_nat(self, name: str, idle_timeout: float, send_rst: bool = False) -> NatFirewall:
         """Create a NAT/firewall middlebox."""
-        if name in self._middleboxes:
-            raise ValueError(f"duplicate middlebox name {name!r}")
-        box = NatFirewall(self._sim, name, idle_timeout=idle_timeout, send_rst=send_rst)
-        self._middleboxes[name] = box
-        return box
+        return self.add_middlebox(
+            NatFirewall(self._sim, name, idle_timeout=idle_timeout, send_rst=send_rst)
+        )
 
     def add_option_stripper(self, name: str, strip_options: tuple[type, ...]) -> OptionStrippingMiddlebox:
         """Create a middlebox that strips the given TCP option classes."""
-        if name in self._middleboxes:
-            raise ValueError(f"duplicate middlebox name {name!r}")
-        box = OptionStrippingMiddlebox(self._sim, name, strip_options=strip_options)
-        self._middleboxes[name] = box
-        return box
+        return self.add_middlebox(
+            OptionStrippingMiddlebox(self._sim, name, strip_options=strip_options)
+        )
 
     def add_link(
         self,

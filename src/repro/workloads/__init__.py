@@ -33,6 +33,7 @@ from repro.workloads.probes import (
     DEFAULT_PROBES,
     PROBES,
     AppLatencyProbe,
+    FaultProbe,
     GoodputProbe,
     Probe,
     SubflowProbe,
@@ -50,6 +51,11 @@ from repro.workloads.registry import (
     register_workload,
 )
 
+# Registering the faulted scenario variants requires the registries above,
+# so the faults catalog imports this package's submodules, never this
+# package itself — importing it last closes the loop safely.
+import repro.faults.catalog  # noqa: E402,F401  (registers faulted_* scenarios)
+
 __all__ = [
     "Workload",
     "ClientSetup",
@@ -64,6 +70,7 @@ __all__ = [
     "GoodputProbe",
     "SubflowProbe",
     "AppLatencyProbe",
+    "FaultProbe",
     "PROBES",
     "DEFAULT_PROBES",
     "make_probe",

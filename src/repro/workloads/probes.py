@@ -171,16 +171,45 @@ class AppLatencyProbe(Probe):
         }
 
 
+class FaultProbe(Probe):
+    """Fault-injection counters and connection-survival signals.
+
+    Collects nothing (an empty dict) for scenarios without a fault
+    injector, so adding it to the default probe set does not disturb the
+    metrics — or the committed baselines — of clean cells.  For faulted
+    scenarios it publishes the injector's deterministic counters plus the
+    survival facts :mod:`repro.analysis.faults` judges robustness by.
+    """
+
+    name = "faults"
+
+    def collect(self, run: "HarnessRun") -> dict[str, Any]:
+        injector = getattr(run.scenario, "fault_injector", None)
+        if injector is None:
+            return {}
+        metrics: dict[str, Any] = {
+            f"fault_{key}": value for key, value in injector.stats().items()
+        }
+        conn = run.connection
+        if conn is not None:
+            metrics["connection_established"] = int(conn.established)
+            metrics["connection_closed"] = int(conn.closed)
+            metrics["subflows_live_at_end"] = len(conn.live_subflows)
+            metrics["subflows_closed_total"] = conn.subflows_created - len(conn.live_subflows)
+        return metrics
+
+
 #: Probe factories by registry name (the sweep cell runner's default set).
 PROBES: dict[str, Callable[[], Probe]] = {
     "trace": TraceProbe,
     "goodput": GoodputProbe,
     "subflows": SubflowProbe,
     "app_latency": AppLatencyProbe,
+    "faults": FaultProbe,
 }
 
 #: The probes every sweep cell runs, in collection order.
-DEFAULT_PROBES: tuple[str, ...] = ("trace", "goodput", "subflows", "app_latency")
+DEFAULT_PROBES: tuple[str, ...] = ("trace", "goodput", "subflows", "app_latency", "faults")
 
 
 def make_probe(entry) -> Probe:

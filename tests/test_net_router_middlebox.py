@@ -196,3 +196,96 @@ class TestNatFirewall:
         sim.run(until=95.0)
         assert len(scenario.nat.active_flows()) == 1
         assert scenario.nat.expired_flows == 0
+
+    def test_expiry_races_an_in_flight_segment(self, sim):
+        """A segment sent before the idle timeout but arriving at the NAT
+        after it finds the state gone: the NAT drops it (the silent
+        mid-flight death §4.1 is about), and only a fresh SYN repairs the
+        path."""
+        scenario = build_natted(sim, nat_idle_timeout=10.0, delay_ms=2000.0)
+        sink = SinkStack()
+        scenario.server.install_stack(sink)
+        flow_args = dict(src=scenario.client_addresses[0], dst=scenario.server_addresses[0], sport=5000, dport=80)
+        scenario.client.send(Segment(flags=TCPFlags.SYN, **flow_args))
+        sim.run()
+        assert len(sink.segments) == 1  # SYN seen by the NAT at t=1 (one leg)
+        # State expires at 11.0 (last refresh when the SYN crossed at t=1).
+        # The client transmits at 10.5 — before expiry — but the one-second
+        # client->NAT leg delivers it to the NAT at 11.5, after expiry.
+        sim.schedule_at(10.5, scenario.client.send, Segment(flags=TCPFlags.ACK, payload_len=7, **flow_args))
+        sim.run()
+        assert len(sink.segments) == 1
+        assert scenario.nat.dropped_no_state == 1
+        assert scenario.nat.expired_flows == 1
+        # A new SYN re-creates state and traffic flows again.
+        sim.schedule_at(sim.now + 1.0, scenario.client.send, Segment(flags=TCPFlags.SYN, **flow_args))
+        sim.run()
+        assert len(sink.segments) == 2
+
+
+class TestStackedMiddleboxes:
+    """Two middleboxes on one path: an option stripper behind a NAT."""
+
+    def build(self, sim, idle_timeout=30.0):
+        from repro.mptcp.options import AddAddrOption
+        from repro.net.middlebox import OptionStrippingMiddlebox
+
+        client = Host(sim, "client")
+        server = Host(sim, "server")
+        stripper = OptionStrippingMiddlebox(sim, "stripper", strip_options=(AddAddrOption,))
+        stripper.attach("10.0.0.250", "10.0.0.251")
+        nat = NatFirewall(sim, "nat", idle_timeout=idle_timeout)
+        nat.attach("10.0.0.252", "10.0.0.253")
+        Link(sim, name="l0", delay=0.001).connect(
+            client.add_interface("if0", "10.0.0.1"), stripper.interface("inside")
+        )
+        Link(sim, name="l1", delay=0.001).connect(
+            stripper.interface("outside"), nat.interface("inside")
+        )
+        Link(sim, name="l2", delay=0.001).connect(
+            nat.interface("outside"), server.add_interface("if0", "10.0.1.2")
+        )
+        client.add_route("10.0.1.2", "if0")
+        server.add_route("10.0.0.1", "if0")
+        sink = SinkStack()
+        server.install_stack(sink)
+        return client, server, stripper, nat, sink
+
+    def test_both_middleboxes_apply_in_order(self, sim):
+        from repro.mptcp.options import AddAddrOption, DssOption
+
+        client, server, stripper, nat, sink = self.build(sim)
+        flow_args = dict(src=ip("10.0.0.1"), dst=ip("10.0.1.2"), sport=5000, dport=80)
+        client.send(Segment(flags=TCPFlags.SYN, **flow_args))
+        sim.run()
+        options = (AddAddrOption(address_id=1, address=ip("10.9.0.9")),
+                   DssOption(data_seq=0, data_len=5))
+        client.send(Segment(flags=TCPFlags.ACK, payload_len=5, options=options, **flow_args))
+        sim.run()
+        assert len(sink.segments) == 2
+        delivered = sink.segments[-1]
+        # The stripper removed ADD_ADDR, the NAT passed the known flow.
+        assert delivered.find_option(AddAddrOption) is None
+        assert delivered.find_option(DssOption) is not None
+        assert stripper.options_stripped == 1
+        assert len(nat.active_flows()) == 1
+
+    def test_nat_expiry_drops_behind_a_working_stripper(self, sim):
+        from repro.mptcp.options import AddAddrOption
+
+        client, server, stripper, nat, sink = self.build(sim, idle_timeout=5.0)
+        flow_args = dict(src=ip("10.0.0.1"), dst=ip("10.0.1.2"), sport=5000, dport=80)
+        client.send(Segment(flags=TCPFlags.SYN, **flow_args))
+        sim.run()
+        option = AddAddrOption(address_id=1, address=ip("10.9.0.9"))
+        sim.schedule_at(
+            10.0, client.send,
+            Segment(flags=TCPFlags.ACK, payload_len=5, options=(option,), **flow_args),
+        )
+        sim.run()
+        # The stripper still forwarded (and stripped), but the NAT state had
+        # expired, so the segment died between the two middleboxes.
+        assert stripper.options_stripped == 1
+        assert stripper.forwarded == 2
+        assert nat.dropped_no_state == 1
+        assert len(sink.segments) == 1

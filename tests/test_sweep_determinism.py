@@ -47,6 +47,20 @@ def workload_acceptance_grid() -> CampaignGrid:
     )
 
 
+def fuzz_acceptance_grid() -> CampaignGrid:
+    """Faulted scenario variants and their twins (the fuzz-cell contract)."""
+    return CampaignGrid(
+        name="acceptance-fuzz",
+        campaign_seed=42,
+        experiments=["bulk_transfer"],
+        scenarios=["dual_homed", "faulted_dual_homed", "faulted_path", "faulted_lan", "lan"],
+        schedulers=["lowest_rtt"],
+        controllers=["fullmesh"],
+        seeds=2,
+        params={"transfer_bytes": 80_000, "horizon": 15.0},
+    )
+
+
 class TestCampaignWorkerIndependence:
     def test_serial_two_and_four_workers_are_byte_identical(self):
         grid = acceptance_grid()
@@ -70,6 +84,24 @@ class TestCampaignWorkerIndependence:
         # Every cell actually carried traffic (no silently empty runs).
         for cell in serial.cells:
             assert cell.result["trace_packets"] > 0, cell.spec.key
+
+    def test_fuzz_cells_and_triage_are_worker_count_independent(self):
+        """Faulted cells derive their FaultPlan from the cell seed, so the
+        campaign — and the triage report built from it — must be
+        byte-identical at any worker count."""
+        from repro.analysis.faults import triage_campaign, triage_json
+
+        grid = fuzz_acceptance_grid()
+        serial = run_campaign(grid, workers=1)
+        two = run_campaign(grid, workers=2)
+        four = run_campaign(grid, workers=4)
+        assert serial.to_canonical_json() == two.to_canonical_json()
+        assert serial.to_canonical_json() == four.to_canonical_json()
+        assert triage_json(triage_campaign(serial)) == triage_json(triage_campaign(four))
+        for cell in serial.cells:
+            assert cell.result["trace_packets"] > 0, cell.spec.key
+            if cell.spec.scenario.startswith("faulted"):
+                assert cell.result["fault_events_scheduled"] > 0, cell.spec.key
 
     def test_cached_rerun_is_byte_identical_and_all_hits(self, tmp_path):
         grid = acceptance_grid()
