@@ -4,8 +4,10 @@ A fuzz campaign runs faulted scenario variants next to their clean twins
 (same workload, scheduler, controller and seed).  This module reduces such
 a campaign to a triage report: per faulted cell, did the connection
 survive, how much goodput was retained against the twin, how many
-subflows died — and a verdict (``pass`` / ``degraded`` / ``failed``) the
-shrink workflow and the CI fuzz-smoke job key on.  The report is built
+subflows died — and a verdict (``pass`` / ``fallback`` / ``degraded`` /
+``failed``) the shrink workflow and the CI fuzz-smoke job key on.
+``fallback`` sits between pass and degraded: the cell survived, but only
+by downgrading to plain TCP.  The report is built
 only from deterministic cell metrics and rendered canonically, so it is
 byte-identical for the same campaign seed at any worker count.
 """
@@ -46,12 +48,17 @@ def evaluate_cell(
 
     Returns a dict with the retained-goodput ratio, the survival signals
     and a ``verdict``: ``failed`` when the connection never established or
-    goodput collapsed below ``failure_floor`` of the twin's, ``degraded``
-    below ``goodput_floor``, ``no_twin``/``no_baseline`` when there is
-    nothing sound to compare against, else ``pass``.
+    goodput collapsed below ``failure_floor`` of the twin's — downgrading
+    does not excuse a dead cell; ``fallback`` when the cell *survived*
+    (goodput at or above ``failure_floor``) by downgrading at least one
+    connection to plain TCP, taking precedence over ``degraded`` because
+    surviving hostile signalling interference is the interesting fact;
+    ``degraded`` below ``goodput_floor``; ``no_twin``/``no_baseline`` when
+    there is nothing sound to compare against; else ``pass``.
     """
     established = faulted_metrics.get("connection_established")
     goodput = faulted_metrics.get("goodput_mbps")
+    fallbacks = faulted_metrics.get("fallback_connections") or 0
     reasons: list[str] = []
     retained: Optional[float] = None
 
@@ -71,6 +78,12 @@ def evaluate_cell(
                 reasons.append(
                     f"goodput collapsed to {retained:.1%} of the clean twin"
                 )
+            elif fallbacks > 0:
+                verdict = "fallback"
+                reasons.append(
+                    f"survived via plain-TCP fallback ({fallbacks} connection(s), "
+                    f"goodput retained {retained:.1%})"
+                )
             elif retained < goodput_floor:
                 verdict = "degraded"
                 reasons.append(f"goodput retained {retained:.1%} < {goodput_floor:.0%}")
@@ -83,6 +96,7 @@ def evaluate_cell(
         "twin_goodput_mbps": (clean_metrics or {}).get("goodput_mbps"),
         "goodput_retained": None if retained is None else round(retained, 6),
         "connection_established": established,
+        "fallback_connections": fallbacks,
     }
 
 
@@ -122,6 +136,7 @@ def fault_rows(result, goodput_floor: float = 0.5) -> list[dict]:
             "fault_events_scheduled",
             "fault_events_fired",
             "fault_segments_dropped",
+            "fallback_bytes",
             "subflows_created",
             "subflows_live_at_end",
         ):

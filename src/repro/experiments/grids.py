@@ -8,7 +8,9 @@ sweep the same matrices.  Three tiers:
   controllers × 3 scenarios × 2 seeds);
 * ``full`` — every workload × scheduler × controller × dual-path scenario;
 * ``workloads`` — every registered workload over every registered
-  scenario (the orthogonal matrix the unified harness unlocked).
+  scenario (the orthogonal matrix the unified harness unlocked);
+* ``downgrade`` — MP_CAPABLE-interference scenarios next to their clean
+  twins (the plain-TCP fallback regression matrix).
 
 Plus one single-cell campaign per paper figure: the sweep twin of each
 evaluation.  With http and longlived registered as sweep experiments the
@@ -138,6 +140,38 @@ def fuzz_grid(campaign_seed: int = 1, seeds: int = 2) -> CampaignGrid:
     )
 
 
+def downgrade_grid(campaign_seed: int = 1, seeds: int = 2) -> CampaignGrid:
+    """The plain-TCP fallback matrix: MP_CAPABLE interference next to twins.
+
+    Three hostile-but-survivable scenarios — the symmetric MP_CAPABLE
+    stripper, the SYN/ACK-only stripper and the curated
+    ``mpcapable_strip`` fault plan — run against their clean twin
+    (``dual_homed``) for two workloads.  Every hostile cell must come up
+    as a plain-TCP fallback with nonzero goodput (triage verdict
+    ``fallback``), which is what the determinism suite and CI pin.
+    """
+    return CampaignGrid(
+        name="downgrade",
+        campaign_seed=campaign_seed,
+        experiments=["bulk_transfer", "http"],
+        scenarios=[
+            "dual_homed",
+            "faulted_downgrade",
+            "mpcapable_stripped",
+            "mpcapable_stripped_synack",
+        ],
+        schedulers=["lowest_rtt"],
+        controllers=["fullmesh"],
+        seeds=seeds,
+        params={
+            "transfer_bytes": 60_000,
+            "request_count": 2,
+            "object_size": 40_000,
+            "horizon": 15.0,
+        },
+    )
+
+
 def figure_campaigns(campaign_seed: int = 1) -> dict[str, CampaignGrid]:
     """One-cell campaigns mirroring each paper figure's setting."""
     return {
@@ -218,6 +252,7 @@ def named_grid(name: str, campaign_seed: int = 1) -> CampaignGrid:
         "full": full_grid,
         "workloads": workloads_grid,
         "fuzz": fuzz_grid,
+        "downgrade": downgrade_grid,
     }
     if name in builders:
         return builders[name](campaign_seed=campaign_seed)

@@ -203,6 +203,7 @@ def _run_shrink(args: argparse.Namespace) -> HandlerResult:
         controller=args.controller,
         scheduler=args.scheduler,
         goodput_floor=args.goodput_floor,
+        target_verdict=args.target_verdict,
     )
     try:
         result = shrink_plan(plan, predicate)
@@ -218,6 +219,7 @@ def _run_shrink(args: argparse.Namespace) -> HandlerResult:
         controller=args.controller,
         scheduler=args.scheduler,
         plan_name=plan_name,
+        target_verdict=args.target_verdict,
     )
     if args.out is not None:
         write_counterexample(artifact, args.out)
@@ -261,7 +263,9 @@ def _list_registries(args: argparse.Namespace) -> str:
     from repro.mptcp.scheduler import SCHEDULER_REGISTRY
     from repro.workloads import CONTROLLERS, PROBES, SCENARIOS, WORKLOADS
 
-    grids = ["quick", "default", "full", "workloads", "fuzz"] + sorted(figure_campaigns())
+    grids = ["quick", "default", "full", "workloads", "fuzz", "downgrade"] + sorted(
+        figure_campaigns()
+    )
     fault_models = [
         f"{name} — {FAULT_MODELS[name].description}" for name in sorted(FAULT_MODELS)
     ]
@@ -352,8 +356,8 @@ def _add_campaign_options(
     name, so only ``sweep`` keeps the ``default`` grid default.
     """
     grid_help = (
-        "named campaign grid (quick, default, full, workloads, fuzz, fig2a, "
-        "fig2b, fig2c, fig3, longlived)"
+        "named campaign grid (quick, default, full, workloads, fuzz, downgrade, "
+        "fig2a, fig2b, fig2c, fig3, longlived)"
     )
     if grid_required:
         parser.add_argument("--grid", required=True, help=grid_help)
@@ -456,6 +460,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="exit non-zero when any faulted cell fails outright")
     fuzz_parser.add_argument("--shrink", action="store_true",
                              help="minimise a failing fault plan instead of running a campaign")
+    fuzz_parser.add_argument("--target-verdict", default="failed",
+                             choices=("failed", "fallback"),
+                             help="shrink: triage verdict the minimal plan must keep "
+                             "producing ('fallback' minimises down to the events "
+                             "that force a plain-TCP downgrade)")
     fuzz_parser.add_argument("--plan", default=None,
                              help="shrink: named fault plan or path to a plan JSON file")
     fuzz_parser.add_argument("--workload", default="bulk_transfer",

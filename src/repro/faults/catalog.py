@@ -71,8 +71,35 @@ def build_faulted_path(
     return FaultedScenario(base, injector, plan)
 
 
+def build_faulted_downgrade(sim: Simulator) -> FaultedScenario:
+    """Dual-homed topology replaying the curated ``mpcapable_strip`` plan.
+
+    The plan is fixed (not seed-derived): MP_CAPABLE is stripped on path 0
+    from t=0, so the initial handshake of every cell downgrades to a
+    plain-TCP fallback while the seed axis still varies the traffic.  This
+    is the committed fallback-regression scenario of the ``downgrade``
+    grid.
+    """
+    from repro.faults.plans import named_plan
+    from repro.netem.scenarios import build_dual_homed
+
+    builder = faulted(
+        build_dual_homed,
+        "dual_homed",
+        plan=named_plan("mpcapable_strip", DEFAULT_FAULT_HORIZON),
+    )
+    return builder(sim)
+
+
 register_faulted_variant("faulted_dual_homed", "dual_homed")
 register_faulted_variant("faulted_lan", "lan")
 register_faulted_variant("faulted_natted", "natted")
 register_scenario("faulted_path", build_faulted_path)
 FAULTED_SCENARIOS["faulted_path"] = "dual_homed"
+register_scenario("faulted_downgrade", build_faulted_downgrade)
+FAULTED_SCENARIOS["faulted_downgrade"] = "dual_homed"
+# The static MP_CAPABLE strippers are fallback scenarios by construction;
+# recording dual_homed as their clean twin lets the triage judge the
+# downgrade's goodput retention like any other faulted cell.
+FAULTED_SCENARIOS["mpcapable_stripped"] = "dual_homed"
+FAULTED_SCENARIOS["mpcapable_stripped_synack"] = "dual_homed"

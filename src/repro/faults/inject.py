@@ -113,8 +113,9 @@ class FaultInjector:
             state = self._flap_state[event.target] = [link.loss_rate, 0]
         state[1] += 1
         link.set_loss_rate(1.0)
-        duration = event.duration if event.duration is not None else 1.0
-        self._sim.schedule(duration, self._unflap, event.target)
+        # FaultPlan.validate guarantees link events carry a duration; a
+        # silent 1.0 s default here used to mask malformed plans.
+        self._sim.schedule(event.duration, self._unflap, event.target)
 
     def _unflap(self, target: str) -> None:
         state = self._flap_state[target]

@@ -42,11 +42,19 @@ STRIPPABLE_OPTIONS: dict[str, type] = {
     "DssOption": DssOption,
 }
 
-#: Option names the random generator picks from.  MP_CAPABLE and DSS are
-#: excluded on purpose — stripping them is covered by dedicated models
-#: (``corrupt_dss``) or guarantees a trivially dead connection, which makes
-#: every random plan "interesting" in the same boring way.
-_GENERATED_STRIP_CHOICES = ("AddAddrOption", "RemoveAddrOption", "MpJoinOption", "MpPrioOption")
+#: Option names the random generator picks from.  DSS stripping is excluded
+#: because it is covered by the dedicated ``corrupt_dss`` model.  MP_CAPABLE
+#: is generated since the stack grew its plain-TCP fallback path: a stripped
+#: handshake now downgrades the connection instead of killing it, which
+#: turned the once trivially-dead corner of the fuzz space into a measurable
+#: degradation axis.
+_GENERATED_STRIP_CHOICES = (
+    "AddAddrOption",
+    "MpCapableOption",
+    "MpJoinOption",
+    "MpPrioOption",
+    "RemoveAddrOption",
+)
 
 
 @dataclass(frozen=True)

@@ -111,12 +111,18 @@ class FaultPlan:
         return sorted({event.target for event in self.events})
 
     def validate(self, targets: Sequence[str]) -> None:
-        """Check every event against the known mutation and target names."""
+        """Check every event against the known mutation and target names.
+
+        Windowed and link mutations must carry an explicit positive
+        ``duration``: a malformed plan is rejected here instead of being
+        silently papered over with a default at injection time.
+        """
         from repro.faults.models import FAULT_MODELS
 
         known = set(targets)
         for event in self.events:
-            if event.mutation not in FAULT_MODELS:
+            model = FAULT_MODELS.get(event.mutation)
+            if model is None:
                 raise ValueError(
                     f"unknown fault model {event.mutation!r} (have {sorted(FAULT_MODELS)})"
                 )
@@ -124,6 +130,13 @@ class FaultPlan:
                 raise ValueError(
                     f"fault event targets unknown {event.target!r} (have {sorted(known)})"
                 )
+            if model.kind in ("window", "link"):
+                duration = event.duration
+                if duration is None or duration <= 0:
+                    raise ValueError(
+                        f"{event.mutation!r} event at t={event.time:g} needs a "
+                        f"positive duration, got {duration!r}"
+                    )
 
     def subset(self, indices: Sequence[int]) -> "FaultPlan":
         """A plan keeping only the events at ``indices`` (provenance kept)."""

@@ -87,6 +87,43 @@ def known_bad_dual_homed(horizon: float = 15.0) -> FaultPlan:
     )
 
 
+def mpcapable_strip(horizon: float = 15.0) -> FaultPlan:
+    """Strip MP_CAPABLE on the primary path from t=0: every handshake that
+    crosses path 0 downgrades to plain TCP (the curated downgrade
+    adversary behind the ``downgrade`` grid's ``faulted_downgrade``
+    scenario)."""
+    return _plan(
+        "mpcapable_strip",
+        horizon,
+        [
+            FaultEvent(0.0, "path0", "strip_option",
+                       (("duration", horizon), ("option", "MpCapableOption"))),
+        ],
+    )
+
+
+def known_fallback_dual_homed(horizon: float = 15.0) -> FaultPlan:
+    """The fallback twin of :func:`known_bad_dual_homed`: four harmless
+    noise events plus one MP_CAPABLE strip covering the handshake.  The
+    connection survives as a plain-TCP fallback, and shrinking against the
+    ``fallback`` predicate must reduce the plan to exactly the strip."""
+    return _plan(
+        "known_fallback_dual_homed",
+        horizon,
+        [
+            FaultEvent(0.0, "path0", "strip_option",
+                       (("duration", horizon), ("option", "MpCapableOption"))),
+            FaultEvent(0.05, "path1", "strip_option",
+                       (("duration", 2.0), ("option", "AddAddrOption"))),
+            FaultEvent(0.06, "path1", "split_segment",
+                       (("duration", 2.0), ("min_payload", 512))),
+            FaultEvent(0.08, "path1", "reorder",
+                       (("delay", 0.02), ("duration", 2.0), ("every", 3))),
+            FaultEvent(0.12, "path1", "nat_rebind"),
+        ],
+    )
+
+
 NAMED_PLANS: dict[str, NamedPlan] = {
     plan.name: plan
     for plan in (
@@ -98,6 +135,12 @@ NAMED_PLANS: dict[str, NamedPlan] = {
                   "three NAT rebinds on the primary path", rebind_flurry),
         NamedPlan("known_bad_dual_homed", "dual_homed",
                   "fatal path-0 blackout plus noise (the shrink demo)", known_bad_dual_homed),
+        NamedPlan("mpcapable_strip", "dual_homed",
+                  "MP_CAPABLE stripped on the primary path: handshakes downgrade "
+                  "to plain TCP", mpcapable_strip),
+        NamedPlan("known_fallback_dual_homed", "dual_homed",
+                  "handshake downgrade plus noise (the fallback shrink demo)",
+                  known_fallback_dual_homed),
     )
 }
 

@@ -103,12 +103,16 @@ def cell_failure_predicate(
     controller: str = "passive",
     scheduler: str = "lowest_rtt",
     goodput_floor: float = 0.5,
+    target_verdict: str = "failed",
 ):
     """Build the failure predicate for one harness cell.
 
     Runs the clean twin once, then judges each candidate plan by running
     the same cell under :func:`~repro.faults.inject.faulted` and comparing
-    metrics with :func:`repro.analysis.faults.evaluate_cell`.  Returns
+    metrics with :func:`repro.analysis.faults.evaluate_cell`.  The plan
+    "fails" when the triage verdict equals ``target_verdict`` — ``failed``
+    for classic counterexamples, ``fallback`` to minimise a plan down to
+    the events that force a plain-TCP downgrade.  Returns
     ``(failing, clean_metrics)``.
     """
     from repro.analysis.faults import evaluate_cell
@@ -138,7 +142,7 @@ def cell_failure_predicate(
 
     def failing(plan: FaultPlan) -> bool:
         verdict = evaluate_cell(run_with(plan), clean, goodput_floor=goodput_floor)
-        return verdict["verdict"] == "failed"
+        return verdict["verdict"] == target_verdict
 
     return failing, clean
 
@@ -153,6 +157,7 @@ def counterexample_artifact(
     scheduler: str = "lowest_rtt",
     params: Optional[Mapping] = None,
     plan_name: Optional[str] = None,
+    target_verdict: str = "failed",
 ) -> dict:
     """Package a shrink result as a deterministic, committable artifact."""
     return {
@@ -167,6 +172,7 @@ def counterexample_artifact(
             "params": dict(params or {}),
         },
         "plan_name": plan_name,
+        "target_verdict": target_verdict,
         "original_events": len(result.original),
         "minimal_events": len(result.minimal),
         "evaluations": result.evaluations,

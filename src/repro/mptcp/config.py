@@ -26,6 +26,16 @@ class MptcpConfig:
     announce_addresses: bool = True
     """Advertise additional local addresses with ADD_ADDR after establishment."""
 
+    allow_fallback: bool = True
+    """Fall back to plain TCP when MPTCP signalling is broken in transit.
+
+    Covers both downgrade points of RFC 6824 §3.6: a handshake whose
+    MP_CAPABLE was stripped by a middlebox establishes a single-subflow
+    plain-TCP connection, and a single-subflow connection whose DSS options
+    are corrupted mid-stream degrades to an infinite mapping instead of
+    stalling.  With ``False`` the stack keeps the pre-fallback behaviour:
+    plain SYNs are reset and mapping-less data is ignored."""
+
     reinject_on_timeout: bool = True
     """Reschedule a timed-out subflow's outstanding data on other subflows."""
 

@@ -29,6 +29,7 @@ from repro.mptcp.options import (
     AddAddrOption,
     DssOption,
     MpCapableOption,
+    MpFailOption,
     MpFastcloseOption,
     MpJoinOption,
     MpPrioOption,
@@ -40,7 +41,7 @@ from repro.net.addressing import IPAddress
 from repro.net.packet import Segment
 from repro.sim.timers import Timer
 from repro.tcp.buffers import ReceiveReassembly
-from repro.tcp.socket import SubflowObserver, TcpSocket
+from repro.tcp.socket import SubflowObserver, TcpSocket, TcpState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mptcp.stack import MptcpStack
@@ -183,6 +184,22 @@ class MptcpConnection(SubflowObserver):
         self._announced_local_ids: dict[int, IPAddress] = {}
         self._pending_options: list = []
 
+        # Plain-TCP fallback state (RFC 6824 §3.6): entered when MP_CAPABLE
+        # was stripped during the handshake or when DSS signalling broke on
+        # a single-subflow connection.  A fallen-back connection runs one
+        # subflow, emits no MPTCP options, and treats the subflow's byte
+        # stream as the connection's byte stream (the "infinite mapping").
+        self.is_fallback = False
+        self.fallback_reason: Optional[str] = None
+        self.fell_back_at: Optional[float] = None
+        self.fallback_bytes_sent = 0
+        self.fallback_bytes_received = 0
+        # Subflow-level rcv_nxt of the initial subflow as of the last data
+        # event — the switch point from which the infinite mapping continues
+        # the connection-level stream.
+        self._fallback_rx_seen: Optional[int] = None
+        self._mp_fail_sent = False
+
     # ------------------------------------------------------------------
     # identity / introspection
     # ------------------------------------------------------------------
@@ -256,6 +273,47 @@ class MptcpConnection(SubflowObserver):
         """Addresses advertised by the peer (address id -> (address, port))."""
         return dict(self._remote_addresses)
 
+    def _enter_fallback(self, reason: str, flow: Optional[Subflow] = None) -> None:
+        """Downgrade this connection to plain TCP (RFC 6824 §3.6).
+
+        From here on the single surviving subflow carries the connection's
+        byte stream directly: no DSS options are emitted, the scheduler and
+        the meta retransmission timer are bypassed, MP_JOINs are refused
+        and the subflow-level FIN doubles as the end-of-stream signal.
+        """
+        if self.is_fallback or self.closed:
+            return
+        self.is_fallback = True
+        self.fallback_reason = reason
+        self.fell_back_at = self._sim.now
+        carrier = flow
+        if carrier is None:
+            carrier = next((f for f in self._subflows if not f.is_closed), None)
+        if carrier is not None:
+            # The subflow's cumulative acknowledgement is now the data-level
+            # acknowledgement: everything below the oldest outstanding
+            # mapping was delivered, even if the covering DSS data acks were
+            # corrupted in transit before the downgrade.
+            outstanding = [
+                m for m in carrier.socket.outstanding_metadata() if isinstance(m, DssMapping)
+            ]
+            floor = min((m.data_seq for m in outstanding), default=self._data_write_nxt)
+            sent_hwm = max((m.end for m in outstanding), default=floor)
+            if self._unassigned:
+                # Drop queued duplicates of already-transmitted ranges (meta
+                # RTO reinjections): resending them without a mapping would
+                # append phantom bytes to the peer's fallback stream.
+                trimmed: deque[tuple[int, int]] = deque()
+                for start, end in self._unassigned:
+                    start = max(start, sent_hwm)
+                    if start < end:
+                        trimmed.append((start, end))
+                self._unassigned = trimmed
+            if floor > self._data_una:
+                self._process_data_ack(floor)
+        self._meta_rtx_timer.stop()
+        self._stack.notify_connection_fallback(self)
+
     def subflow_by_id(self, subflow_id: int) -> Optional[Subflow]:
         """Look up a subflow by its connection-local identifier.
 
@@ -320,7 +378,7 @@ class MptcpConnection(SubflowObserver):
         if self.closed:
             return
         self._aborted = True
-        if notify_peer:
+        if notify_peer and not self.is_fallback:
             capable = self._transmission_capable_subflows()
             if capable:
                 self._pending_options.append(MpFastcloseOption(receiver_key=self.remote_key or 0))
@@ -344,11 +402,19 @@ class MptcpConnection(SubflowObserver):
         return flow
 
     def accept_initial_subflow(self, segment: Segment) -> Subflow:
-        """Create the server-side MP_CAPABLE subflow from a received SYN."""
+        """Create the server-side initial subflow from a received SYN.
+
+        A SYN without MP_CAPABLE (stripped in transit by a middlebox) is
+        served as a plain-TCP fallback connection when the configuration
+        allows it; the SYN/ACK then carries no MPTCP options at all.
+        """
         capable = segment.find_option(MpCapableOption)
         if capable is None:
-            raise ValueError("initial SYN carries no MP_CAPABLE option")
-        self._learn_remote_key(capable.sender_key)
+            if not self._config.allow_fallback:
+                raise ValueError("initial SYN carries no MP_CAPABLE option")
+            self._enter_fallback("mp_capable_stripped")
+        else:
+            self._learn_remote_key(capable.sender_key)
         socket = self._stack.create_subflow_socket(
             self, segment.dst, segment.dport, segment.src, segment.sport
         )
@@ -374,6 +440,9 @@ class MptcpConnection(SubflowObserver):
         """
         if self.closed or self._close_requested or not self.established or self.remote_token is None:
             return None
+        if self.is_fallback:
+            # A fallen-back connection is plain TCP: no additional subflows.
+            return None
         if len(self.active_subflows) >= self._config.max_subflows:
             return None
         remote_addr = IPAddress(remote_address) if remote_address is not None else self.remote_address
@@ -386,6 +455,11 @@ class MptcpConnection(SubflowObserver):
 
     def accept_join(self, segment: Segment) -> Optional[Subflow]:
         """Create a passive subflow from a received MP_JOIN SYN (server side)."""
+        if self.is_fallback:
+            # Plain TCP carries no data-sequence signalling, so an extra
+            # subflow could never be synchronised: refuse the join (the
+            # stack answers with a RST, like the Linux fallback path).
+            return None
         join = segment.find_option(MpJoinOption)
         if join is None:
             return None
@@ -445,6 +519,10 @@ class MptcpConnection(SubflowObserver):
         flow = self._subflow_for(sock)
         if flow is None:
             return ()
+        if self.is_fallback:
+            # Plain TCP: the SYN/ACK of a downgraded passive open and the
+            # third ACK of a downgraded active open carry no MPTCP options.
+            return ()
         if flow.is_initial:
             if kind == "syn":
                 return (MpCapableOption(sender_key=self.local_key),)
@@ -460,6 +538,10 @@ class MptcpConnection(SubflowObserver):
         return (MpJoinOption(token=token, address_id=flow.id, backup=flow.backup),)
 
     def data_options(self, sock: TcpSocket, metadata: Any) -> tuple:
+        if self.is_fallback:
+            # Infinite mapping: payload rides the subflow sequence space
+            # alone.  (Pending options still drain — MP_FAIL in particular.)
+            return tuple(self._drain_pending_options())
         mapping: Optional[DssMapping] = metadata
         options: list = []
         if mapping is not None:
@@ -476,6 +558,8 @@ class MptcpConnection(SubflowObserver):
         return tuple(options)
 
     def ack_options(self, sock: TcpSocket) -> tuple:
+        if self.is_fallback:
+            return tuple(self._drain_pending_options())
         if self._data_fin_seq is not None and not self._data_fin_acked:
             # Keep signalling the DATA_FIN until the peer's data ack covers
             # it, like TCP keeps the FIN bit on retransmitted segments.
@@ -509,8 +593,45 @@ class MptcpConnection(SubflowObserver):
     def segment_options_received(self, sock: TcpSocket, segment: Segment) -> None:
         flow = self._subflow_for(sock)
         capable = segment.find_option(MpCapableOption)
-        if capable is not None and self.remote_key is None:
+        if capable is not None and self.remote_key is None and not self.is_fallback:
             self._learn_remote_key(capable.sender_key)
+        if (
+            not self.is_fallback
+            and self._config.allow_fallback
+            and flow is not None
+            and flow.is_initial
+            and capable is None
+            and segment.is_ack
+            and not segment.is_rst
+        ):
+            if segment.is_syn and sock.state == TcpState.SYN_SENT:
+                # SYN/ACK stripped of MP_CAPABLE: a middlebox on the path
+                # (or the peer itself) does not speak MPTCP — downgrade to
+                # plain TCP instead of resetting (RFC 6824 §3.6).
+                self._enter_fallback("mp_capable_stripped", flow)
+            elif (
+                not segment.is_syn
+                and sock.state == TcpState.SYN_RECEIVED
+                and segment.find_option(DssOption) is None
+            ):
+                # Handshake-completing ACK without any MPTCP signalling:
+                # the client fell back (our SYN/ACK's option was stripped
+                # in transit) — follow it down to plain TCP.  A DSS-bearing
+                # segment in this state is *not* a downgrade: it is an
+                # MPTCP client whose third ACK was lost, with data already
+                # completing the handshake (every segment an MPTCP peer
+                # emits carries at least a DSS).
+                self._enter_fallback("mp_capable_stripped", flow)
+        fail = segment.find_option(MpFailOption)
+        if fail is not None and not self.is_fallback and self._config.allow_fallback:
+            # The peer failed our DSS checksums: infinite-mapping fallback.
+            self._enter_fallback("dss_checksum_fail", flow)
+        if self.is_fallback:
+            # Plain TCP from here on: DSS acks, DATA_FIN, address and
+            # priority signalling are void.  (A stale mapped segment from a
+            # peer that has not yet processed our MP_FAIL is still honoured
+            # in on_data.)
+            return
         dss = segment.find_option(DssOption)
         if dss is not None:
             if dss.data_ack is not None:
@@ -535,8 +656,29 @@ class MptcpConnection(SubflowObserver):
             flow.socket.backup = prio.backup
 
     def on_data(self, sock: TcpSocket, segment: Segment, new_bytes: int) -> None:
+        flow = self._subflow_for(sock)
+        if self.is_fallback:
+            self._fallback_receive(sock, segment, flow)
+            return
         dss = segment.find_option(DssOption)
         if dss is None or not dss.has_mapping:
+            if (
+                segment.payload_len > 0
+                and self._config.allow_fallback
+                and len(self._subflow_history) == 1
+                and flow is not None
+                and flow.is_initial
+            ):
+                # A data segment whose DSS mapping was corrupted in transit,
+                # on the only subflow this connection ever had: degrade to
+                # the infinite mapping instead of stalling, and tell the
+                # sender with MP_FAIL (RFC 6824 §3.6).  With other subflows
+                # around, the mapping-less data stays ignored and the meta
+                # retransmission timer reinjects the range on a healthy
+                # subflow, exactly as before the fallback path existed.
+                self._enter_fallback("dss_checksum_fail", flow)
+                self._send_mp_fail()
+                self._fallback_receive(sock, segment, flow)
             return
         before = self._data_reassembly.rcv_nxt
         self._data_reassembly.register(dss.data_seq, dss.data_len)
@@ -544,13 +686,62 @@ class MptcpConnection(SubflowObserver):
         if advanced > 0:
             self._bytes_received_total += advanced
             self._listener.on_data(self, advanced)
-        flow = self._subflow_for(sock)
+        if flow is not None and flow.is_initial and len(self._subflow_history) == 1:
+            # Keep the fallback switch point current: if a later segment's
+            # DSS is corrupted, the infinite mapping continues the stream
+            # from exactly the subflow bytes consumed so far.
+            self._fallback_rx_seen = sock.rcv_nxt
+        self._check_remote_data_fin(flow)
+
+    def _send_mp_fail(self) -> None:
+        """Queue a one-shot MP_FAIL; the ACK for the offending data segment
+        (which the socket emits right after this callback) carries it."""
+        if self._mp_fail_sent:
+            return
+        self._mp_fail_sent = True
+        self._pending_options.append(MpFailOption(data_seq=self._data_reassembly.rcv_nxt))
+
+    def _fallback_receive(self, sock: TcpSocket, segment: Segment, flow: Optional[Subflow]) -> None:
+        """Deliver one data segment under the infinite mapping.
+
+        Mapping-less payload continues the connection stream from the
+        subflow-level in-order delivery point; a straggling mapped segment
+        (sent before the peer processed our MP_FAIL) is honoured via its
+        explicit mapping, which also absorbs duplicated ranges.
+        """
+        if flow is None or not flow.is_initial:
+            return
+        dss = segment.find_option(DssOption)
+        before = self._data_reassembly.rcv_nxt
+        if dss is not None and dss.has_mapping:
+            self._data_reassembly.register(dss.data_seq, dss.data_len)
+        else:
+            seen = (
+                self._fallback_rx_seen
+                if self._fallback_rx_seen is not None
+                else sock.rcv_nxt - segment.payload_len
+            )
+            advance = sock.rcv_nxt - seen
+            if advance > 0:
+                self._data_reassembly.register(before, advance)
+        self._fallback_rx_seen = sock.rcv_nxt
+        advanced = self._data_reassembly.rcv_nxt - before
+        if advanced > 0:
+            self._bytes_received_total += advanced
+            self.fallback_bytes_received += advanced
+            self._listener.on_data(self, advanced)
         self._check_remote_data_fin(flow)
 
     def on_acked(self, sock: TcpSocket, metadata_list: list, newly_acked: int) -> None:
         # Subflow-level acknowledgement.  Data-level progress is tracked via
         # the DSS data_ack (already processed); this hook only tries to push
-        # more data into the window that just opened.
+        # more data into the window that just opened.  In fallback there is
+        # no DSS: the subflow's cumulative acknowledgement *is* the data
+        # acknowledgement (the mappings stay attached as local metadata).
+        if self.is_fallback:
+            tops = [m.end for m in metadata_list if isinstance(m, DssMapping)]
+            if tops:
+                self._process_data_ack(max(tops))
         self._push_data()
 
     def on_send_space(self, sock: TcpSocket) -> None:
@@ -564,6 +755,8 @@ class MptcpConnection(SubflowObserver):
         if flow is None:
             return
         flow.mark_established(self._sim.now)
+        if flow.is_initial and self._fallback_rx_seen is None:
+            self._fallback_rx_seen = sock.rcv_nxt
         if flow.is_initial and not self.established:
             self.established = True
             self.established_at = self._sim.now
@@ -587,9 +780,20 @@ class MptcpConnection(SubflowObserver):
         self._push_data()
 
     def on_fin_received(self, sock: TcpSocket) -> None:
-        # Subflow-level FIN: nothing to do at the connection level; the
-        # DATA_FIN drives connection teardown.
-        return
+        # Subflow-level FIN: nothing to do at the connection level — the
+        # DATA_FIN drives connection teardown — except in fallback, where
+        # plain-TCP semantics make the subflow FIN the end-of-stream signal.
+        if not self.is_fallback:
+            return
+        flow = self._subflow_for(sock)
+        if flow is None or not flow.is_initial:
+            return
+        # Absorb the FIN's sequence slot so late duplicates cannot be
+        # mistaken for one more payload byte by the infinite mapping.
+        self._fallback_rx_seen = sock.rcv_nxt
+        if not self._remote_fin_consumed:
+            self._remote_fin_consumed = True
+            self._listener.on_connection_finished(self)
 
     def on_closed(self, sock: TcpSocket, reason: int) -> None:
         flow = self._subflow_for(sock)
@@ -607,7 +811,9 @@ class MptcpConnection(SubflowObserver):
             self._reinject_outstanding(flow)
             self._push_data()
         if all(f.is_closed for f in self._subflows):
-            if self._close_requested or self._remote_fin_consumed or self._aborted:
+            # In fallback the connection *is* its single subflow: when that
+            # subflow is gone (cleanly or by reset), so is the connection.
+            if self._close_requested or self._remote_fin_consumed or self._aborted or self.is_fallback:
                 self._finalise_close()
 
     # ------------------------------------------------------------------
@@ -623,7 +829,11 @@ class MptcpConnection(SubflowObserver):
                 continue
             start = max(start, self._data_una)
             chunk = min(end - start, self._mss)
-            flow = self._scheduler.select(self._subflows, chunk)
+            if self.is_fallback:
+                # Scheduler bypass: plain TCP has exactly one path.
+                flow = next((f for f in self._subflows if f.is_usable), None)
+            else:
+                flow = self._scheduler.select(self._subflows, chunk)
             if flow is None:
                 break
             window = flow.socket.available_window()
@@ -634,6 +844,9 @@ class MptcpConnection(SubflowObserver):
             if not flow.socket.send_data(send_len, mapping):
                 break
             flow.bytes_scheduled += send_len
+            if self.is_fallback:
+                flow.fallback_bytes += send_len
+                self.fallback_bytes_sent += send_len
             new_start = start + send_len
             if new_start >= end:
                 self._unassigned.popleft()
@@ -652,7 +865,10 @@ class MptcpConnection(SubflowObserver):
         subflows get the first chance to repair their own losses, and the
         meta timer only steps in when a path is stuck for good.
         """
-        if self.closed:
+        if self.closed or self.is_fallback:
+            # Fallback: the single subflow's own RTO is the only repair
+            # mechanism, like plain TCP — a meta reinjection would append
+            # duplicate bytes to the peer's infinite-mapping stream.
             self._meta_rtx_timer.stop()
             return
         outstanding = self._data_una < self._data_write_nxt
@@ -665,7 +881,7 @@ class MptcpConnection(SubflowObserver):
         self._meta_rtx_timer.start(period)
 
     def _on_meta_rto(self) -> None:
-        if self.closed or self._data_una >= self._data_write_nxt:
+        if self.closed or self.is_fallback or self._data_una >= self._data_write_nxt:
             return
         self.meta_rto_expirations += 1
         self._meta_backoff += 1
@@ -678,6 +894,10 @@ class MptcpConnection(SubflowObserver):
 
     def _reinject_outstanding(self, flow: Subflow, head_only: bool = False) -> None:
         """Queue the given subflow's unacknowledged data for other subflows."""
+        if self.is_fallback:
+            # No other subflows exist, and a duplicate range sent without a
+            # mapping would corrupt the peer's infinite-mapping stream.
+            return
         mappings = [m for m in flow.socket.outstanding_metadata() if isinstance(m, DssMapping)]
         if head_only and mappings:
             mappings = mappings[:1]
@@ -722,6 +942,11 @@ class MptcpConnection(SubflowObserver):
         if not self._close_requested or self._data_fin_seq is not None or self.closed:
             return
         if self._unassigned or self._data_una < self._data_write_nxt:
+            return
+        if self.is_fallback:
+            # Plain TCP has no DATA_FIN: the subflow-level FIN carries the
+            # end-of-stream signal.
+            self._close_subflows_gracefully()
             return
         self._data_fin_seq = self._data_write_nxt
         self._transmit_data_fin()
@@ -792,7 +1017,7 @@ class MptcpConnection(SubflowObserver):
         self._stack.register_remote_token(self)
 
     def _announce_local_addresses(self, initial_flow: Subflow) -> None:
-        if not self._config.announce_addresses:
+        if self.is_fallback or not self._config.announce_addresses:
             return
         local = initial_flow.socket.local_address
         next_id = 1
@@ -814,8 +1039,9 @@ class MptcpConnection(SubflowObserver):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         role = "client" if self.is_client else "server"
+        fallback = " fallback" if self.is_fallback else ""
         return (
             f"<MptcpConnection {role} token={self.local_token:#x} "
             f"subflows={len(self._subflows)}/{len(self._subflow_history)} "
-            f"estab={self.established} closed={self.closed}>"
+            f"estab={self.established} closed={self.closed}{fallback}>"
         )

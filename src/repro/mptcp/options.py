@@ -139,6 +139,25 @@ class MpPrioOption:
 
 
 @dataclass(frozen=True)
+class MpFailOption:
+    """MP_FAIL: signals a DSS checksum failure (RFC 6824 §3.6).
+
+    A receiver that detects corrupted data-sequence signalling on a
+    single-subflow connection sends MP_FAIL; both ends then fall back to
+    plain TCP with an implicit infinite mapping — the subflow's byte
+    stream *is* the connection's byte stream from then on.
+    """
+
+    data_seq: int = 0
+
+    wire_length: int = 12
+
+    def __post_init__(self) -> None:
+        if self.data_seq < 0:
+            raise ValueError("MP_FAIL data_seq cannot be negative")
+
+
+@dataclass(frozen=True)
 class MpFastcloseOption:
     """MP_FASTCLOSE: abruptly closes the whole MPTCP connection."""
 

@@ -67,6 +67,10 @@ class MptcpStack:
         self.resets_sent = 0
         self.connections_accepted = 0
         self.connections_initiated = 0
+        self.connections_fallen_back = 0
+        # Every connection that ever downgraded to plain TCP, kept past
+        # close so probes can account fallback bytes after the run.
+        self._fallback_connections: list[MptcpConnection] = []
 
     # ------------------------------------------------------------------
     # accessors
@@ -100,6 +104,12 @@ class MptcpStack:
     def connections(self) -> list[MptcpConnection]:
         """Connections that are not yet fully closed (do not mutate)."""
         return self._connections
+
+    @property
+    def fallback_connections(self) -> list[MptcpConnection]:
+        """Every connection that downgraded to plain TCP, closed ones
+        included (do not mutate)."""
+        return self._fallback_connections
 
     def local_addresses(self) -> list[IPAddress]:
         """Addresses of the host's interfaces that are currently up."""
@@ -245,10 +255,14 @@ class MptcpStack:
         if join is not None:
             conn = self._conn_by_token.get(join.token)
             if conn is None or conn.closed:
+                # Dead or unknown token: middlebox-mangled or stale MP_JOIN.
+                self.segments_unmatched += 1
                 self._send_reset(segment)
                 return
             flow = conn.accept_join(segment)
             if flow is None:
+                # Refused join (subflow cap, or a fallen-back connection).
+                self.segments_unmatched += 1
                 self._send_reset(segment)
             return
         if factory is None:
@@ -256,11 +270,14 @@ class MptcpStack:
             self._send_reset(segment)
             return
         capable = segment.find_option(MpCapableOption)
-        if capable is None:
-            # Plain TCP SYNs are not served by this reproduction: every
-            # application in the paper's evaluation runs over MPTCP.
+        if capable is None and not self._config.allow_fallback:
+            # Fallback disabled: plain TCP SYNs are not served.
+            self.segments_unmatched += 1
             self._send_reset(segment)
             return
+        # With MP_CAPABLE this is an ordinary MPTCP passive open; without it
+        # (stripped in transit) the connection comes up as a single-subflow
+        # plain-TCP fallback — accept_initial_subflow handles both.
         listener = factory()
         conn = MptcpConnection(
             stack=self,
@@ -276,14 +293,24 @@ class MptcpStack:
         conn.accept_initial_subflow(segment)
 
     def _send_reset(self, segment: Segment) -> None:
+        # RFC 793 reset generation: a segment carrying an ACK is answered
+        # with ``<SEQ=SEG.ACK><CTL=RST>``; a segment without one (a bare
+        # SYN, whose ack field is meaningless) with ``<SEQ=0>
+        # <ACK=SEG.SEQ+SEG.LEN><CTL=RST,ACK>``.  Using ``segment.ack``
+        # unconditionally put garbage sequence numbers on resets for
+        # ACK-less segments.
+        if segment.is_ack:
+            seq, ack, flags = segment.ack, 0, TCPFlags.RST
+        else:
+            seq, ack, flags = 0, segment.end_seq, TCPFlags.RST | TCPFlags.ACK
         reset = Segment(
             src=segment.dst,
             dst=segment.src,
             sport=segment.dport,
             dport=segment.sport,
-            seq=segment.ack,
-            ack=segment.end_seq,
-            flags=TCPFlags.RST | TCPFlags.ACK,
+            seq=seq,
+            ack=ack,
+            flags=flags,
         )
         self.resets_sent += 1
         self._host.send(reset)
@@ -299,8 +326,24 @@ class MptcpStack:
         """Called by the connection when its initial subflow starts."""
         self._path_manager.on_connection_created(conn)
 
+    def notify_connection_fallback(self, conn: MptcpConnection) -> None:
+        """Called by a connection when it downgrades to plain TCP.
+
+        The path manager is *not* told: a fallen-back connection is outside
+        its jurisdiction (no subflows to add or remove), which is exactly
+        the bypass the fallback contract requires.
+        """
+        self.connections_fallen_back += 1
+        self._fallback_connections.append(conn)
+
     def notify_connection_established(self, conn: MptcpConnection) -> None:
-        """Called when the initial subflow's handshake completes."""
+        """Called when the initial subflow's handshake completes.
+
+        Fallen-back connections bypass the path manager entirely: there is
+        nothing a subflow strategy could do for plain TCP.
+        """
+        if conn.is_fallback:
+            return
         self._path_manager.on_connection_established(conn)
 
     def notify_connection_closed(self, conn: MptcpConnection) -> None:
@@ -313,22 +356,32 @@ class MptcpStack:
 
     def notify_subflow_established(self, conn: MptcpConnection, flow: Subflow) -> None:
         """Called when any subflow's handshake completes."""
+        if conn.is_fallback:
+            return
         self._path_manager.on_subflow_established(conn, flow)
 
     def notify_subflow_closed(self, conn: MptcpConnection, flow: Subflow, reason: int) -> None:
         """Called when any subflow terminates."""
+        if conn.is_fallback:
+            return
         self._path_manager.on_subflow_closed(conn, flow, reason)
 
     def notify_rto_timeout(self, conn: MptcpConnection, flow: Subflow, rto: float, consecutive: int) -> None:
         """Called when a subflow's retransmission timer expires."""
+        if conn.is_fallback:
+            return
         self._path_manager.on_rto_timeout(conn, flow, rto, consecutive)
 
     def notify_add_addr(self, conn: MptcpConnection, address_id: int, address: IPAddress, port: int) -> None:
         """Called when the peer advertises an address."""
+        if conn.is_fallback:
+            return
         self._path_manager.on_add_addr(conn, address_id, address, port)
 
     def notify_rem_addr(self, conn: MptcpConnection, address_id: int) -> None:
         """Called when the peer withdraws an address."""
+        if conn.is_fallback:
+            return
         self._path_manager.on_rem_addr(conn, address_id)
 
     # ------------------------------------------------------------------

@@ -53,6 +53,10 @@ class Subflow:
         self.close_reason: Optional[int] = None
         self.bytes_scheduled = 0
         self.reinjected_bytes = 0
+        # Bytes scheduled while the owning connection was in plain-TCP
+        # fallback (always a subset of ``bytes_scheduled``; nonzero only on
+        # the single surviving subflow of a fallen-back connection).
+        self.fallback_bytes = 0
 
     # ------------------------------------------------------------------
     # identity

@@ -189,11 +189,27 @@ class OptionStrippingMiddlebox(TwoLeggedMiddlebox):
     manager's address advertisement on that path while leaving the
     connection itself intact.  The box forwards every packet between its two
     legs unchanged apart from the configured option classes.
+
+    ``strip_from`` optionally restricts stripping to segments arriving on
+    one leg (``"inside"`` or ``"outside"``): some deployed boxes only
+    sanitise one direction, which is what turns an MP_CAPABLE stripper into
+    a SYN/ACK-only stripper (the asymmetric downgrade case of §3).
     """
 
-    def __init__(self, sim: Simulator, name: str, strip_options: tuple[type, ...] = ()) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        strip_options: tuple[type, ...] = (),
+        strip_from: Optional[str] = None,
+    ) -> None:
         super().__init__(sim, name)
+        if strip_from is not None and strip_from not in (self.INSIDE, self.OUTSIDE):
+            raise ValueError(
+                f"strip_from must be {self.INSIDE!r} or {self.OUTSIDE!r}, got {strip_from!r}"
+            )
         self._strip_options = tuple(strip_options)
+        self._strip_from = strip_from
         self.options_stripped = 0
 
     @property
@@ -201,8 +217,14 @@ class OptionStrippingMiddlebox(TwoLeggedMiddlebox):
         """The option classes removed from forwarded segments."""
         return self._strip_options
 
+    @property
+    def strip_from(self) -> Optional[str]:
+        """The only leg whose ingress is stripped (``None`` = both)."""
+        return self._strip_from
+
     def receive(self, segment: Segment, iface: Interface) -> None:
-        if self._strip_options and segment.options:
+        directional_pass = self._strip_from is not None and iface.name != self._strip_from
+        if self._strip_options and segment.options and not directional_pass:
             kept = tuple(
                 option for option in segment.options if not isinstance(option, self._strip_options)
             )

@@ -534,3 +534,71 @@ def build_addaddr_stripped(
         direct_delay_ms=secondary_delay_ms,
         scenario_cls=StrippedAddAddrScenario,
     )
+
+
+@dataclass
+class StrippedMpCapableScenario(MiddleboxPathScenario):
+    """Dual-path topology whose primary path strips MP_CAPABLE options.
+
+    The harshest §3 interference short of dropping the SYN outright: the
+    MPTCP handshake itself is sanitised away, so every connection over the
+    primary path comes up as a single-subflow plain-TCP fallback — the
+    degradation this scenario family exists to measure.  ``strip_from``
+    distinguishes the symmetric box (both handshake directions stripped,
+    the server never sees MP_CAPABLE) from the SYN/ACK-only box (the server
+    accepts an MPTCP handshake, then follows the client down when the third
+    ACK arrives bare).
+    """
+
+    #: Tells the fallback probe this scenario downgrades by construction.
+    fallback_prone = True
+
+    @property
+    def stripper(self) -> OptionStrippingMiddlebox:
+        """The MP_CAPABLE-stripping middlebox on the primary path."""
+        return self.middlebox
+
+
+def build_mpcapable_stripped(
+    sim: Simulator,
+    strip_from: Optional[str] = None,
+    rate_mbps: float = 10.0,
+    delay_ms: float = 10.0,
+    secondary_delay_ms: float = 30.0,
+) -> StrippedMpCapableScenario:
+    """Build the MP_CAPABLE-stripping-middlebox topology.
+
+    ``strip_from=None`` strips both directions (the client's SYN arrives
+    bare at the server); ``strip_from="outside"`` strips only the server's
+    SYN/ACK, exercising the third-ACK downgrade on the server side.
+    """
+    from repro.mptcp.options import MpCapableOption
+
+    return build_middlebox_path(
+        sim,
+        "mpcapable-stripped",
+        lambda topo: topo.add_option_stripper(
+            "stripper", strip_options=(MpCapableOption,), strip_from=strip_from
+        ),
+        leg_prefix="stripper",
+        rate_mbps=rate_mbps,
+        delay_ms=delay_ms,
+        direct_delay_ms=secondary_delay_ms,
+        scenario_cls=StrippedMpCapableScenario,
+    )
+
+
+def build_mpcapable_stripped_synack(
+    sim: Simulator,
+    rate_mbps: float = 10.0,
+    delay_ms: float = 10.0,
+    secondary_delay_ms: float = 30.0,
+) -> StrippedMpCapableScenario:
+    """The SYN/ACK-only MP_CAPABLE stripper (asymmetric downgrade)."""
+    return build_mpcapable_stripped(
+        sim,
+        strip_from="outside",
+        rate_mbps=rate_mbps,
+        delay_ms=delay_ms,
+        secondary_delay_ms=secondary_delay_ms,
+    )

@@ -114,10 +114,21 @@ class Topology:
             NatFirewall(self._sim, name, idle_timeout=idle_timeout, send_rst=send_rst)
         )
 
-    def add_option_stripper(self, name: str, strip_options: tuple[type, ...]) -> OptionStrippingMiddlebox:
-        """Create a middlebox that strips the given TCP option classes."""
+    def add_option_stripper(
+        self,
+        name: str,
+        strip_options: tuple[type, ...],
+        strip_from: Optional[str] = None,
+    ) -> OptionStrippingMiddlebox:
+        """Create a middlebox that strips the given TCP option classes.
+
+        ``strip_from`` restricts stripping to one ingress leg (``"inside"``
+        or ``"outside"``); ``None`` strips both directions.
+        """
         return self.add_middlebox(
-            OptionStrippingMiddlebox(self._sim, name, strip_options=strip_options)
+            OptionStrippingMiddlebox(
+                self._sim, name, strip_options=strip_options, strip_from=strip_from
+            )
         )
 
     def add_link(

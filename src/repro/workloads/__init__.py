@@ -33,6 +33,7 @@ from repro.workloads.probes import (
     DEFAULT_PROBES,
     PROBES,
     AppLatencyProbe,
+    FallbackProbe,
     FaultProbe,
     GoodputProbe,
     Probe,
@@ -71,6 +72,7 @@ __all__ = [
     "SubflowProbe",
     "AppLatencyProbe",
     "FaultProbe",
+    "FallbackProbe",
     "PROBES",
     "DEFAULT_PROBES",
     "make_probe",

@@ -199,6 +199,39 @@ class FaultProbe(Probe):
         return metrics
 
 
+class FallbackProbe(Probe):
+    """Plain-TCP fallback accounting (the RFC 6824 §3.6 downgrade path).
+
+    Collects nothing for runs that neither could nor did fall back, so the
+    metrics — and committed baselines — of ordinary clean cells stay
+    untouched.  A run is fallback-relevant when its scenario injects faults
+    (``fault_injector``), declares itself fallback-prone (the MP_CAPABLE
+    stripper topologies), or when any client-side connection actually
+    downgraded.  Metrics are client-side: ``fallback_connections`` counts
+    downgrades over the whole run (closed connections included) and
+    ``fallback_bytes`` the connection-level bytes moved while fallen back.
+    """
+
+    name = "fallback"
+
+    def collect(self, run: "HarnessRun") -> dict[str, Any]:
+        stack = run.client.stack
+        relevant = (
+            getattr(run.scenario, "fault_injector", None) is not None
+            or getattr(run.scenario, "fallback_prone", False)
+            or stack.connections_fallen_back > 0
+        )
+        if not relevant:
+            return {}
+        fallen = stack.fallback_connections
+        return {
+            "fallback_connections": stack.connections_fallen_back,
+            "fallback_bytes": sum(
+                conn.fallback_bytes_sent + conn.fallback_bytes_received for conn in fallen
+            ),
+        }
+
+
 #: Probe factories by registry name (the sweep cell runner's default set).
 PROBES: dict[str, Callable[[], Probe]] = {
     "trace": TraceProbe,
@@ -206,10 +239,13 @@ PROBES: dict[str, Callable[[], Probe]] = {
     "subflows": SubflowProbe,
     "app_latency": AppLatencyProbe,
     "faults": FaultProbe,
+    "fallback": FallbackProbe,
 }
 
 #: The probes every sweep cell runs, in collection order.
-DEFAULT_PROBES: tuple[str, ...] = ("trace", "goodput", "subflows", "app_latency", "faults")
+DEFAULT_PROBES: tuple[str, ...] = (
+    "trace", "goodput", "subflows", "app_latency", "faults", "fallback"
+)
 
 
 def make_probe(entry) -> Probe:

@@ -29,6 +29,8 @@ from repro.netem.scenarios import (
     build_dual_homed,
     build_ecmp,
     build_lan,
+    build_mpcapable_stripped,
+    build_mpcapable_stripped_synack,
     build_natted,
     build_path_failure_recovery,
     build_wifi_lte_handover,
@@ -49,6 +51,8 @@ SCENARIOS: dict[str, Callable] = {
     "bufferbloat_cellular": build_bufferbloat_cellular,
     "path_failure_recovery": build_path_failure_recovery,
     "addaddr_stripped": build_addaddr_stripped,
+    "mpcapable_stripped": build_mpcapable_stripped,
+    "mpcapable_stripped_synack": build_mpcapable_stripped_synack,
 }
 
 

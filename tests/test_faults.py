@@ -438,7 +438,17 @@ class TestTriage:
         assert first["faulted_cells"] == faulted_cells
         for row in first["rows"]:
             assert row["twin_key"] is not None
-            assert row["verdict"] in {"pass", "degraded", "failed"}
+            assert row["verdict"] in {"pass", "fallback", "degraded", "failed"}
+        # The MP_CAPABLE-interference scenarios must survive as fallbacks,
+        # not die: the once trivially-dead corner is a degradation axis now.
+        downgrade_rows = [
+            row for row in first["rows"]
+            if "mpcapable_stripped" in row["key"] or "faulted_downgrade" in row["key"]
+        ]
+        assert downgrade_rows
+        for row in downgrade_rows:
+            assert row["verdict"] == "fallback", row
+            assert row["fallback_connections"] >= 1
 
     def test_evaluate_cell_verdicts(self):
         from repro.analysis.faults import evaluate_cell
@@ -504,24 +514,70 @@ class TestShrink:
         assert failing(minimal)
         assert not failing(minimal.subset([]))  # empty plan passes
 
-    def test_seed_derived_failing_plan_shrinks_to_one_event(self):
-        """A plan straight out of the generator (no curation) fails and
-        shrinks: fault seed 15 on the passive 2 MB dual-homed cell produces
-        a long corrupt_dss window on the only used path, and ddmin strips
-        the three bystander events around it."""
-        failing, clean = cell_failure_predicate(
+    def test_seed_derived_corrupt_dss_plan_falls_back_and_shrinks(self):
+        """Fault seed 15 on the passive 2 MB dual-homed cell produces long
+        corrupt_dss windows on the only used path.  Before the fallback
+        path existed that plan was fatal; now the single-subflow connection
+        degrades to plain TCP instead, so the plan no longer reaches the
+        ``failed`` verdict — and ddmin against the ``fallback`` verdict
+        strips the bystander events down to one corrupt_dss window."""
+        cell = dict(
             workload="bulk_transfer", base_scenario="dual_homed", seed=1,
             horizon=15.0, params={"transfer_bytes": 2_000_000},
         )
         plan = FaultPlan.generate(15, targets=["path0", "path1"], horizon=15.0)
         assert len(plan) == 4
-        assert failing(plan)
-        first = shrink_plan(plan, failing)
-        second = shrink_plan(plan, failing)
+        failing, clean = cell_failure_predicate(**cell)
+        assert clean["goodput_mbps"] > 0
+        assert not failing(plan)  # survived: downgraded, not dead
+        falls_back, _ = cell_failure_predicate(**cell, target_verdict="fallback")
+        assert falls_back(plan)
+        first = shrink_plan(plan, falls_back)
+        second = shrink_plan(plan, falls_back)
         assert first.minimal.to_json() == second.minimal.to_json()  # reproducible
         assert len(first.minimal) == 1
         assert first.minimal.events[0].mutation == "corrupt_dss"
         assert first.minimal.events[0].target == "path0"
+
+    def test_known_fallback_plan_shrinks_to_committed_counterexample(self):
+        """The fallback twin of the known-bad fixture: ddmin against the
+        ``fallback`` verdict reduces the noisy downgrade plan to exactly
+        the MP_CAPABLE strip, byte-identical to the committed artifact."""
+        artifact = load_counterexample(
+            os.path.join(FIXTURES, "fallback_counterexample_dual_homed.json")
+        )
+        cell = artifact["cell"]
+        assert artifact["target_verdict"] == "fallback"
+        falls_back, _clean = cell_failure_predicate(
+            workload=cell["workload"],
+            base_scenario=cell["base_scenario"],
+            seed=cell["seed"],
+            horizon=cell["horizon"],
+            controller=cell["controller"],
+            scheduler=cell["scheduler"],
+            target_verdict="fallback",
+        )
+        result = shrink_plan(named_plan("known_fallback_dual_homed", cell["horizon"]), falls_back)
+        regenerated = counterexample_artifact(
+            result,
+            workload=cell["workload"],
+            base_scenario=cell["base_scenario"],
+            seed=cell["seed"],
+            horizon=cell["horizon"],
+            controller=cell["controller"],
+            scheduler=cell["scheduler"],
+            plan_name="known_fallback_dual_homed",
+            target_verdict="fallback",
+        )
+        with open(os.path.join(FIXTURES, "fallback_counterexample_dual_homed.json")) as handle:
+            committed = handle.read()
+        assert counterexample_json(regenerated) == committed
+        minimal = FaultPlan.from_payload(artifact["minimal_plan"])
+        assert len(minimal) == 1
+        assert minimal.events[0].mutation == "strip_option"
+        assert minimal.events[0].param_dict["option"] == "MpCapableOption"
+        assert falls_back(minimal)
+        assert not falls_back(minimal.subset([]))  # the noise alone is benign
 
     def test_predicate_flags_the_fatal_plan_not_the_noise(self):
         failing, clean = cell_failure_predicate(
@@ -561,9 +617,10 @@ class TestRunnerFuzzCli:
         assert "shrunk 5 events to 1" in capsys.readouterr().out
 
     def test_fuzz_shrink_plan_file_honours_cell_params(self, tmp_path, capsys):
-        """A plan saved from a failing campaign cell round-trips through
-        --plan FILE --params: the same cell parameters reproduce the
-        failure, and without them the plan rightly does not fail."""
+        """A plan saved from a campaign cell round-trips through --plan FILE
+        --params: the same cell parameters reproduce the downgrade (the
+        corrupt_dss windows only bite a transfer long enough to straddle
+        them), and without them the plan rightly does not trigger it."""
         from repro.experiments import runner
 
         plan_path = tmp_path / "plan.json"
@@ -571,17 +628,20 @@ class TestRunnerFuzzCli:
         out_path = tmp_path / "cex.json"
         code = runner.main(
             ["fuzz", "--shrink", "--plan", str(plan_path),
-             "--base-scenario", "dual_homed",
+             "--base-scenario", "dual_homed", "--target-verdict", "fallback",
              "--params", '{"transfer_bytes": 2000000}', "--out", str(out_path)]
         )
         assert code == 0
         artifact = json.loads(out_path.read_text())
         assert artifact["minimal_events"] == 1
         assert artifact["cell"]["params"] == {"transfer_bytes": 2000000}
+        assert artifact["target_verdict"] == "fallback"
         capsys.readouterr()
-        # Judged against the default cell (no params) the plan passes.
+        # Judged against the default cell (no params: the transfer finishes
+        # before the first window opens) the plan passes.
         assert runner.main(
-            ["fuzz", "--shrink", "--plan", str(plan_path), "--base-scenario", "dual_homed"]
+            ["fuzz", "--shrink", "--plan", str(plan_path),
+             "--base-scenario", "dual_homed", "--target-verdict", "fallback"]
         ) == 1
         assert "nothing to shrink" in capsys.readouterr().out
 

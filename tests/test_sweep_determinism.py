@@ -61,6 +61,25 @@ def fuzz_acceptance_grid() -> CampaignGrid:
     )
 
 
+def downgrade_acceptance_grid() -> CampaignGrid:
+    """MP_CAPABLE-interference scenarios next to their clean twin."""
+    return CampaignGrid(
+        name="acceptance-downgrade",
+        campaign_seed=42,
+        experiments=["bulk_transfer"],
+        scenarios=[
+            "dual_homed",
+            "faulted_downgrade",
+            "mpcapable_stripped",
+            "mpcapable_stripped_synack",
+        ],
+        schedulers=["lowest_rtt"],
+        controllers=["fullmesh"],
+        seeds=2,
+        params={"transfer_bytes": 60_000, "horizon": 15.0},
+    )
+
+
 class TestCampaignWorkerIndependence:
     def test_serial_two_and_four_workers_are_byte_identical(self):
         grid = acceptance_grid()
@@ -102,6 +121,38 @@ class TestCampaignWorkerIndependence:
             assert cell.result["trace_packets"] > 0, cell.spec.key
             if cell.spec.scenario.startswith("faulted"):
                 assert cell.result["fault_events_scheduled"] > 0, cell.spec.key
+
+    def test_downgrade_cells_are_worker_count_independent(self):
+        """The acceptance criterion: a faulted cell whose plan strips
+        MP_CAPABLE during the handshake completes with at least one
+        fallback connection and nonzero goodput (triage verdict
+        ``fallback``, not ``failed``), the clean twin stays untouched by
+        the fallback machinery — and everything is byte-identical at 1 and
+        4 workers."""
+        from repro.analysis.faults import triage_campaign, triage_json
+
+        grid = downgrade_acceptance_grid()
+        serial = run_campaign(grid, workers=1)
+        four = run_campaign(grid, workers=4)
+        assert serial.to_canonical_json() == four.to_canonical_json()
+        assert triage_json(triage_campaign(serial)) == triage_json(triage_campaign(four))
+
+        for cell in serial.cells:
+            scenario = cell.spec.scenario
+            metrics = cell.result
+            if scenario == "dual_homed":
+                # The clean twin carries no fallback metrics at all.
+                assert "fallback_connections" not in metrics, cell.spec.key
+                continue
+            assert metrics["fallback_connections"] >= 1, cell.spec.key
+            assert metrics["goodput_mbps"] > 0, cell.spec.key
+            if scenario == "faulted_downgrade":
+                # The curated plan actually fired its MP_CAPABLE strip.
+                assert metrics["fault_options_stripped"] > 0, cell.spec.key
+
+        triage = triage_campaign(serial)
+        verdicts = {row["key"]: row["verdict"] for row in triage["rows"]}
+        assert verdicts and all(verdict == "fallback" for verdict in verdicts.values()), verdicts
 
     def test_cached_rerun_is_byte_identical_and_all_hits(self, tmp_path):
         grid = acceptance_grid()

@@ -229,7 +229,9 @@ class TestProbeOverheadAndTraceOptOut:
     def test_overhead_metric_is_opt_in(self):
         run = run_workload(small_spec("bulk_transfer", measure_probe_overhead=True))
         overhead = run.metrics["probe_overhead_s"]
-        assert set(overhead) == {"trace", "goodput", "subflows", "app_latency", "faults"}
+        assert set(overhead) == {
+            "trace", "goodput", "subflows", "app_latency", "faults", "fallback"
+        }
         assert all(value >= 0.0 for value in overhead.values())
 
     def test_trace_opt_out_drops_the_probe_and_its_metrics(self):
