@@ -31,7 +31,7 @@ def pytest_addoption(parser):
         type=float,
         default=None,
         metavar="FRACTION",
-        help="fail if the bulk-vs-http cells/sec ratio drifts more than "
+        help="fail if any bulk-vs-workload cells/sec ratio drifts more than "
         "this fraction from BENCH_workloads.json (e.g. 0.25 = 25%%). The "
-        "ratio cancels out hardware speed, so this is the gate CI uses",
+        "ratios cancel out hardware speed, so this is the gate CI uses",
     )

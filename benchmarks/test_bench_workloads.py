@@ -1,10 +1,14 @@
-"""Micro-benchmark: harness cells/second, per workload.
+"""Micro-benchmark: harness cells/second and events/second, per workload.
 
 Runs a batch of identical-shaped harness cells per workload (the unit of
-work the sweep engine schedules) and reports the cells/second rate.  The
-interesting comparison is bulk vs. http: an http cell opens one MPTCP
-connection per request, so it stresses connection setup/teardown where the
-bulk cell stresses the data path.
+work the sweep engine schedules) and reports the cells/second and
+events/second rates.  All four paper workloads are covered: bulk stresses
+the data path, http stresses connection setup/teardown, streaming the
+timer path and longlived the idle/keepalive path.
+
+The batch loop itself lives in :mod:`repro.bench` — shared with the
+``runner bench`` CLI and the examples — so this file only owns the pytest
+plumbing and the regression gates.
 
 ``BENCH_workloads.json`` at the repo root is the committed baseline (first
 recorded on the machine noted inside); re-generate it with::
@@ -19,64 +23,27 @@ from __future__ import annotations
 
 import json
 import os
-import platform
-import time
 
 import pytest
 
-from repro.sweep import run_cell
+from repro import bench
 
 BASELINE_PATH = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
                              "BENCH_workloads.json")
 
-#: One representative cell per benchmarked workload.
-CELL_SPECS = {
-    "bulk_transfer": {
-        "experiment": "bulk_transfer",
-        "scenario": "dual_homed",
-        "scheduler": "lowest_rtt",
-        "controller": "fullmesh",
-        "seed_index": 0,
-        "params": {"transfer_bytes": 150_000, "horizon": 20.0},
-    },
-    "http": {
-        "experiment": "http",
-        "scenario": "dual_homed",
-        "scheduler": "lowest_rtt",
-        "controller": "fullmesh",
-        "seed_index": 0,
-        "params": {"request_count": 4, "object_size": 40_000, "horizon": 20.0},
-    },
-}
 
-CELLS_PER_ROUND = 5
-
-
-def _run_batch(name: str) -> dict:
-    """Run CELLS_PER_ROUND cells of one workload; returns rate + metrics."""
-    spec = CELL_SPECS[name]
-    started = time.perf_counter()
-    results = [
-        run_cell({**spec, "seed_index": index}, 33) for index in range(CELLS_PER_ROUND)
-    ]
-    elapsed = time.perf_counter() - started
-    return {
-        "cells": CELLS_PER_ROUND,
-        "elapsed_s": elapsed,
-        "cells_per_s": CELLS_PER_ROUND / elapsed,
-        "events_per_cell": sum(r["events_processed"] for r in results) / len(results),
-    }
-
-
-@pytest.mark.parametrize("workload", sorted(CELL_SPECS))
+@pytest.mark.parametrize("workload", sorted(bench.BENCH_CELLS))
 def test_workload_cell_throughput(benchmark, workload):
-    stats = benchmark.pedantic(lambda: _run_batch(workload), rounds=1, iterations=1)
-    print()
-    print(
-        f"{workload}: {stats['cells']} cells in {stats['elapsed_s']:.2f}s "
-        f"({stats['cells_per_s']:.1f} cells/s, ~{stats['events_per_cell']:.0f} events/cell)"
+    holder = {}
+    benchmark.pedantic(
+        lambda: holder.setdefault("result", bench.run_batch(workload)),
+        rounds=1, iterations=1,
     )
-    assert stats["cells_per_s"] > 0
+    result = holder["result"]
+    print()
+    print(result.summary())
+    assert result.cells_per_s > 0
+    assert result.events_total > 0
 
 
 def test_report_against_committed_baseline(request):
@@ -90,31 +57,18 @@ def test_report_against_committed_baseline(request):
     * ``--workloads-bench-tolerance 0.4`` — absolute cells/sec floor per
       workload.  Load-bearing only on hardware comparable to where the
       baseline was recorded.
-    * ``--workloads-bench-ratio-tolerance 0.25`` — the bulk-vs-http
-      cells/sec *ratio* against the committed ratio.  Both workloads run
-      on the same machine in the same session, so hardware speed cancels
-      out and the gate only fires when one workload's cost profile
-      actually changes relative to the other.  This is what CI uses.
+    * ``--workloads-bench-ratio-tolerance 0.25`` — every bulk-vs-workload
+      cells/sec *ratio* against the committed ratios.  Both sides of each
+      ratio run on the same machine in the same session, so hardware speed
+      cancels out and the gate only fires when one workload's cost profile
+      actually changes relative to the others.  This is what CI uses.
     """
-    current = {name: _run_batch(name) for name in sorted(CELL_SPECS)}
+    # Best-of-3 batches per workload: interference only makes a round
+    # slower, so the minimum is the stable observation the ratios need.
+    current = bench.run_all(rounds=3)
 
     if request.config.getoption("--update-workloads-baseline"):
-        payload = {
-            "recorded_on": {
-                "python": platform.python_version(),
-                "machine": platform.machine(),
-                "system": platform.system(),
-            },
-            "cells_per_round": CELLS_PER_ROUND,
-            "bulk_vs_http_ratio": round(
-                current["bulk_transfer"]["cells_per_s"] / current["http"]["cells_per_s"], 3
-            ),
-            "workloads": {
-                name: {"cells_per_s": round(stats["cells_per_s"], 2),
-                       "events_per_cell": round(stats["events_per_cell"])}
-                for name, stats in current.items()
-            },
-        }
+        payload = bench.baseline_payload(current)
         with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -122,45 +76,37 @@ def test_report_against_committed_baseline(request):
         return
 
     tolerance = request.config.getoption("--workloads-bench-tolerance")
-    with open(BASELINE_PATH, encoding="utf-8") as handle:
-        baseline = json.load(handle)
+    baseline = bench.load_baseline(BASELINE_PATH)
     print()
-    for name, stats in current.items():
-        recorded = baseline["workloads"][name]["cells_per_s"]
-        ratio = stats["cells_per_s"] / recorded if recorded else float("inf")
+    for name, result in current.items():
+        recorded = baseline["workloads"].get(name, {}).get("cells_per_s")
+        if recorded is None:
+            print(f"{name}: {result.cells_per_s:.1f} cells/s now (no committed baseline)")
+            continue
+        ratio = result.cells_per_s / recorded if recorded else float("inf")
         direction = "faster" if ratio >= 1 else "slower"
         print(
-            f"{name}: {stats['cells_per_s']:.1f} cells/s now vs {recorded:.1f} baseline "
+            f"{name}: {result.cells_per_s:.1f} cells/s now vs {recorded:.1f} baseline "
             f"({ratio:.2f}x, {abs(ratio - 1):.0%} {direction})"
         )
-        assert stats["cells_per_s"] > recorded / 10, (
+        assert result.cells_per_s > recorded / 10, (
             f"{name} throughput collapsed more than 10x below the committed baseline"
         )
         if tolerance is not None:
             floor = recorded * (1 - tolerance)
-            assert stats["cells_per_s"] >= floor, (
-                f"{name}: {stats['cells_per_s']:.1f} cells/s is more than "
+            assert result.cells_per_s >= floor, (
+                f"{name}: {result.cells_per_s:.1f} cells/s is more than "
                 f"{tolerance:.0%} below the committed {recorded:.1f} cells/s "
                 f"(floor {floor:.1f})"
             )
 
     ratio_tolerance = request.config.getoption("--workloads-bench-ratio-tolerance")
-    recorded_ratio = baseline.get("bulk_vs_http_ratio")
-    if recorded_ratio is None:
-        # Older baseline files predate the ratio field; derive it.
-        recorded_ratio = (
-            baseline["workloads"]["bulk_transfer"]["cells_per_s"]
-            / baseline["workloads"]["http"]["cells_per_s"]
-        )
-    current_ratio = current["bulk_transfer"]["cells_per_s"] / current["http"]["cells_per_s"]
-    drift = current_ratio / recorded_ratio - 1
-    print(
-        f"bulk-vs-http ratio: {current_ratio:.2f} now vs {recorded_ratio:.2f} committed "
-        f"({drift:+.0%} drift)"
-    )
-    if ratio_tolerance is not None:
-        assert abs(drift) <= ratio_tolerance, (
-            f"bulk-vs-http cells/sec ratio drifted {drift:+.0%} from the committed "
-            f"{recorded_ratio:.2f} (tolerance {ratio_tolerance:.0%}): one workload's "
-            f"cost profile changed relative to the other"
-        )
+    drifts = bench.ratio_drifts(current, baseline)
+    for name, drift in sorted(drifts.items()):
+        print(f"bulk-vs-{name} ratio drift: {drift:+.0%}")
+        if ratio_tolerance is not None:
+            assert abs(drift) <= ratio_tolerance, (
+                f"bulk-vs-{name} cells/sec ratio drifted {drift:+.0%} from the "
+                f"committed baseline (tolerance {ratio_tolerance:.0%}): one "
+                f"workload's cost profile changed relative to the other"
+            )

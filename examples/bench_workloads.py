@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Benchmark the four paper workloads with the shared bench harness.
+
+Times a batch of identical-shaped sweep cells per workload (the same cell
+specs the committed ``BENCH_workloads.json`` baseline and the CI gate use,
+via :mod:`repro.bench`) and prints cells/second and events/second, plus the
+drift of every bulk-vs-workload ratio against the committed baseline if one
+is present.
+
+Run with:  PYTHONPATH=src python examples/bench_workloads.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro import bench
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_workloads.json"
+)
+
+
+def main() -> None:
+    print(f"running {bench.CELLS_PER_ROUND} cells per workload...")
+    results = bench.run_all()
+    for result in results.values():
+        print("  " + result.summary())
+
+    if os.path.exists(BASELINE_PATH):
+        baseline = bench.load_baseline(BASELINE_PATH)
+        drifts = bench.ratio_drifts(results, baseline)
+        if drifts:
+            print("bulk-vs-workload ratio drift against the committed baseline:")
+            for name, drift in sorted(drifts.items()):
+                print(f"  {name}: {drift:+.0%}")
+    else:
+        print("(no committed BENCH_workloads.json baseline to compare against)")
+
+
+if __name__ == "__main__":
+    main()

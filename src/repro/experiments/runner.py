@@ -256,6 +256,55 @@ def _run_cell(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_bench(args: argparse.Namespace) -> str:
+    """Benchmark the sweep workloads with the shared harness in repro.bench."""
+    from repro import bench
+
+    if args.workload:
+        unknown = sorted(set(args.workload) - set(bench.BENCH_CELLS))
+        if unknown:
+            raise SystemExit(
+                f"unknown bench workload(s) {unknown} (have {sorted(bench.BENCH_CELLS)})"
+            )
+        names = sorted(set(args.workload))
+    else:
+        names = sorted(bench.BENCH_CELLS)
+
+    lines = [f"benchmark: {args.cells} cells per workload"]
+    results = {}
+    for name in names:
+        result = bench.run_batch(name, cells=args.cells)
+        results[name] = result
+        lines.append("  " + result.summary())
+        if args.profile:
+            lines.append(f"--- cProfile top {args.top} ({name}) ---")
+            lines.append(bench.profile_batch(name, cells=args.cells, top=args.top).rstrip())
+
+    baseline_path = args.baseline
+    if baseline_path:
+        baseline = bench.load_baseline(baseline_path)
+        drifts = bench.ratio_drifts(results, baseline)
+        for name, drift in sorted(drifts.items()):
+            lines.append(f"  bulk-vs-{name} ratio drift vs {baseline_path}: {drift:+.0%}")
+
+    if args.json:
+        payload = {
+            name: {
+                "cells": result.cells,
+                "elapsed_s": result.elapsed_s,
+                "cells_per_s": result.cells_per_s,
+                "events_per_cell": result.events_per_cell,
+                "events_per_s": result.events_per_s,
+            }
+            for name, result in results.items()
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        lines.append(f"  wrote rates to {args.json}")
+    return "\n".join(lines)
+
+
 def _list_registries(args: argparse.Namespace) -> str:
     """Print every axis of the workload × scenario × controller grid."""
     from repro.experiments.grids import figure_campaigns
@@ -309,12 +358,13 @@ EXPERIMENTS: dict[str, Callable[[argparse.Namespace], HandlerResult]] = {
     "baseline": _run_baseline,
     "diff": _run_diff,
     "fuzz": _run_fuzz,
+    "bench": _run_bench,
 }
 
 #: Subcommands ``all`` does not run: campaigns, single cells, the registry
-#: listing, the regression-gate pair and the fuzzer are opt-in via their
-#: own names.
-OPT_IN = frozenset({"sweep", "cell", "list", "baseline", "diff", "fuzz"})
+#: listing, the regression-gate pair, the fuzzer and the benchmark are
+#: opt-in via their own names.
+OPT_IN = frozenset({"sweep", "cell", "list", "baseline", "diff", "fuzz", "bench"})
 
 
 def _add_figure_options(parser: argparse.ArgumentParser, figures: Sequence[str]) -> None:
@@ -497,6 +547,25 @@ def build_parser() -> argparse.ArgumentParser:
                              help="simulated run horizon in seconds")
     cell_parser.add_argument("--params", default=None,
                              help="workload parameters as a JSON object")
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="time batches of sweep cells per workload (cells/s and events/s)",
+    )
+    bench_parser.add_argument(
+        "--workload", action="append", default=None, metavar="NAME",
+        help="benchmark only this workload (repeatable; default: all four)",
+    )
+    bench_parser.add_argument("--cells", type=int, default=5,
+                              help="cells per timed batch")
+    bench_parser.add_argument("--profile", action="store_true",
+                              help="also cProfile one batch per workload")
+    bench_parser.add_argument("--top", type=int, default=25,
+                              help="profile: number of cumulative-time rows to print")
+    bench_parser.add_argument("--baseline", default=None, metavar="PATH",
+                              help="report ratio drift against this BENCH_workloads.json")
+    bench_parser.add_argument("--json", default=None,
+                              help="also write the measured rates as JSON here")
 
     subparsers.add_parser("list", parents=[seed_parent],
                           help="print every registry the grid is built from")

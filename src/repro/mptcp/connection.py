@@ -155,6 +155,10 @@ class MptcpConnection(SubflowObserver):
 
         # Receive side.
         self._data_reassembly = ReceiveReassembly(0)
+        # (data_ack, (DssOption,)) pair reused across pure acks: the option
+        # is frozen and options tuples are immutable, so one instance can
+        # ride many segments until the data-level ack advances.
+        self._dss_ack_cache: tuple = (None, None)
         self._bytes_received_total = 0
         self._remote_fin_seq: Optional[int] = None
         self._remote_fin_consumed = False
@@ -553,7 +557,7 @@ class MptcpConnection(SubflowObserver):
                 )
             )
         else:
-            options.append(DssOption(data_ack=self._data_ack_value()))
+            options.append(self._ack_only_dss()[0])
         options.extend(self._drain_pending_options())
         return tuple(options)
 
@@ -569,7 +573,12 @@ class MptcpConnection(SubflowObserver):
                 data_fin=True,
             )
         else:
-            dss = DssOption(data_ack=self._data_ack_value())
+            cached = self._ack_only_dss()
+            if not self._pending_options:
+                return cached
+            dss = cached[0]
+        if not self._pending_options:
+            return (dss,)
         options: list = [dss]
         options.extend(self._drain_pending_options())
         return tuple(options)
@@ -587,12 +596,28 @@ class MptcpConnection(SubflowObserver):
             ack += 1
         return ack
 
+    def _ack_only_dss(self) -> tuple:
+        """A 1-tuple ``(DssOption(data_ack=...),)`` for the current data ack.
+
+        Pure acks dominate the option traffic; the frozen option (and the
+        options tuple wrapping it) is cached until the ack value advances.
+        """
+        ack = self._data_reassembly.rcv_nxt
+        if self._remote_fin_consumed:
+            ack += 1
+        cached_ack, cached = self._dss_ack_cache
+        if ack != cached_ack:
+            cached = (DssOption(data_ack=ack),)
+            self._dss_ack_cache = (ack, cached)
+        return cached
+
     # ------------------------------------------------------------------
     # SubflowObserver: incoming options and data
     # ------------------------------------------------------------------
     def segment_options_received(self, sock: TcpSocket, segment: Segment) -> None:
         flow = self._subflow_for(sock)
-        capable = segment.find_option(MpCapableOption)
+        options = segment.options_by_type
+        capable = options.get(MpCapableOption)
         if capable is not None and self.remote_key is None and not self.is_fallback:
             self._learn_remote_key(capable.sender_key)
         if (
@@ -612,7 +637,7 @@ class MptcpConnection(SubflowObserver):
             elif (
                 not segment.is_syn
                 and sock.state == TcpState.SYN_RECEIVED
-                and segment.find_option(DssOption) is None
+                and options.get(DssOption) is None
             ):
                 # Handshake-completing ACK without any MPTCP signalling:
                 # the client fell back (our SYN/ACK's option was stripped
@@ -622,7 +647,7 @@ class MptcpConnection(SubflowObserver):
                 # completing the handshake (every segment an MPTCP peer
                 # emits carries at least a DSS).
                 self._enter_fallback("mp_capable_stripped", flow)
-        fail = segment.find_option(MpFailOption)
+        fail = options.get(MpFailOption)
         if fail is not None and not self.is_fallback and self._config.allow_fallback:
             # The peer failed our DSS checksums: infinite-mapping fallback.
             self._enter_fallback("dss_checksum_fail", flow)
@@ -632,7 +657,7 @@ class MptcpConnection(SubflowObserver):
             # peer that has not yet processed our MP_FAIL is still honoured
             # in on_data.)
             return
-        dss = segment.find_option(DssOption)
+        dss = options.get(DssOption)
         if dss is not None:
             if dss.data_ack is not None:
                 self._process_data_ack(dss.data_ack)
@@ -642,15 +667,15 @@ class MptcpConnection(SubflowObserver):
                 # attached, the end of the mapping otherwise).
                 self._remote_fin_seq = dss.mapping_end if dss.has_mapping else dss.data_seq
                 self._check_remote_data_fin(flow)
-        fastclose = segment.find_option(MpFastcloseOption)
+        fastclose = options.get(MpFastcloseOption)
         if fastclose is not None and not self.closed:
             # The peer aborted the whole MPTCP connection.
             self.abort(errno.ECONNRESET, notify_peer=False)
             return
-        add_addr = segment.find_option(AddAddrOption)
+        add_addr = options.get(AddAddrOption)
         if add_addr is not None:
             self._process_add_addr(add_addr)
-        prio = segment.find_option(MpPrioOption)
+        prio = options.get(MpPrioOption)
         if prio is not None and flow is not None:
             flow.backup = prio.backup
             flow.socket.backup = prio.backup
@@ -660,7 +685,7 @@ class MptcpConnection(SubflowObserver):
         if self.is_fallback:
             self._fallback_receive(sock, segment, flow)
             return
-        dss = segment.find_option(DssOption)
+        dss = segment.options_by_type.get(DssOption)
         if dss is None or not dss.has_mapping:
             if (
                 segment.payload_len > 0
@@ -827,8 +852,11 @@ class MptcpConnection(SubflowObserver):
             if end <= self._data_una:
                 self._unassigned.popleft()
                 continue
-            start = max(start, self._data_una)
-            chunk = min(end - start, self._mss)
+            if start < self._data_una:
+                start = self._data_una
+            chunk = end - start
+            if chunk > self._mss:
+                chunk = self._mss
             if self.is_fallback:
                 # Scheduler bypass: plain TCP has exactly one path.
                 flow = next((f for f in self._subflows if f.is_usable), None)
@@ -839,7 +867,7 @@ class MptcpConnection(SubflowObserver):
             window = flow.socket.available_window()
             if window <= 0:
                 break
-            send_len = min(chunk, window)
+            send_len = chunk if chunk <= window else window
             mapping = DssMapping(start, send_len)
             if not flow.socket.send_data(send_len, mapping):
                 break
@@ -871,13 +899,20 @@ class MptcpConnection(SubflowObserver):
             # duplicate bytes to the peer's infinite-mapping stream.
             self._meta_rtx_timer.stop()
             return
-        outstanding = self._data_una < self._data_write_nxt
-        if not outstanding:
+        if self._data_una >= self._data_write_nxt:
             self._meta_rtx_timer.stop()
             return
-        rtos = [flow.socket.rtt.rto for flow in self.active_subflows]
-        base = max(rtos) if rtos else 1.0
-        period = min(60.0, max(1.0, base) * (2.0 ** self._meta_backoff))
+        # max(1.0, max(rtos, default=...)) folded into one pass.
+        period = 1.0
+        for flow in self._subflows:
+            if flow.is_usable:
+                rto = flow.socket.rtt.rto
+                if rto > period:
+                    period = rto
+        if self._meta_backoff:
+            period *= 2.0 ** self._meta_backoff
+        if period > 60.0:
+            period = 60.0
         self._meta_rtx_timer.start(period)
 
     def _on_meta_rto(self) -> None:
@@ -917,11 +952,13 @@ class MptcpConnection(SubflowObserver):
         return False
 
     def _process_data_ack(self, ack: int) -> None:
-        fin_extra = 1 if self._data_fin_seq is not None else 0
-        ack = min(ack, self._data_write_nxt + fin_extra)
+        write_nxt = self._data_write_nxt
+        limit = write_nxt + 1 if self._data_fin_seq is not None else write_nxt
+        if ack > limit:
+            ack = limit
         if ack <= self._data_una:
             return
-        self._data_una = min(ack, self._data_write_nxt)
+        self._data_una = ack if ack <= write_nxt else write_nxt
         self._meta_backoff = 0
         self._restart_meta_timer()
         self._listener.on_data_acked(self, self._data_una)

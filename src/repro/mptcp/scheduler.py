@@ -31,10 +31,19 @@ class Scheduler(ABC):
         Applies establishment, window and backup-priority rules; the
         concrete scheduler then ranks the survivors.
         """
-        usable = [flow for flow in subflows if flow.is_usable]
-        regular = [flow for flow in usable if not flow.backup]
+        usable = []
+        regular = []
+        for flow in subflows:
+            if flow.is_usable:
+                usable.append(flow)
+                if not flow.backup:
+                    regular.append(flow)
         candidates = regular if regular else usable
-        return [flow for flow in candidates if flow.socket.available_window() > 0]
+        out = []
+        for flow in candidates:
+            if flow.socket.available_window() > 0:
+                out.append(flow)
+        return out
 
     @abstractmethod
     def select(self, subflows: Sequence[Subflow], chunk_len: int) -> Optional[Subflow]:
@@ -55,10 +64,25 @@ class LowestRttScheduler(Scheduler):
         candidates = self.eligible(subflows)
         if not candidates:
             return None
-        def key(flow: Subflow) -> tuple:
+        if len(candidates) == 1:
+            return candidates[0]
+        # Manual argmin over (has_estimate, srtt, id); keeps the first of
+        # equal keys, exactly like min() with a key function, without
+        # building a tuple per candidate.
+        best = candidates[0]
+        best_srtt = best.socket.rtt.srtt
+        for flow in candidates[1:]:
             srtt = flow.socket.rtt.srtt
-            return (srtt is not None, srtt if srtt is not None else 0.0, flow.id)
-        return min(candidates, key=key)
+            if best_srtt is None:
+                if srtt is not None:
+                    continue
+                if flow.id >= best.id:
+                    continue
+            elif srtt is not None and (srtt > best_srtt or (srtt == best_srtt and flow.id >= best.id)):
+                continue
+            best = flow
+            best_srtt = srtt
+        return best
 
 
 class RoundRobinScheduler(Scheduler):

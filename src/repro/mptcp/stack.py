@@ -51,6 +51,10 @@ class MptcpStack:
 
         self._listeners: dict[int, ListenerFactory] = {}
         self._sockets: dict[FourTuple, TcpSocket] = {}
+        # Mirror of _sockets keyed by the plain-int tuple an incoming
+        # segment produces, so the per-segment demux skips FourTuple
+        # construction and hashing entirely.
+        self._demux: dict[tuple, TcpSocket] = {}
         self._connections: list[MptcpConnection] = []
         self._conn_by_token: dict[int, MptcpConnection] = {}
         self._cc_groups: dict[int, CouplingGroup] = {}
@@ -219,11 +223,20 @@ class MptcpStack:
 
     def register_socket(self, socket: TcpSocket) -> None:
         """Add a socket to the four-tuple demultiplexing table."""
-        self._sockets[socket.four_tuple] = socket
+        four_tuple = socket.four_tuple
+        self._sockets[four_tuple] = socket
+        self._demux[self._demux_key(four_tuple)] = socket
 
     def unregister_socket(self, socket: TcpSocket) -> None:
         """Remove a socket from the demultiplexing table (idempotent)."""
-        self._sockets.pop(socket.four_tuple, None)
+        four_tuple = socket.four_tuple
+        self._sockets.pop(four_tuple, None)
+        self._demux.pop(self._demux_key(four_tuple), None)
+
+    @staticmethod
+    def _demux_key(four_tuple: FourTuple) -> tuple:
+        """The int-tuple an incoming segment of this flow maps to."""
+        return (four_tuple.src._value, four_tuple.sport, four_tuple.dst._value, four_tuple.dport)
 
     def register_remote_token(self, conn: MptcpConnection) -> None:
         """Hook kept for symmetry; only local tokens are used for demux."""
@@ -236,8 +249,8 @@ class MptcpStack:
     # ------------------------------------------------------------------
     def on_segment(self, segment: Segment, iface: Interface) -> None:
         """Demultiplex one received segment."""
-        key = FourTuple(segment.dst, segment.dport, segment.src, segment.sport)
-        socket = self._sockets.get(key)
+        key = (segment.dst._value, segment.dport, segment.src._value, segment.sport)
+        socket = self._demux.get(key)
         if socket is not None:
             self.segments_delivered += 1
             socket.handle_segment(segment)

@@ -13,7 +13,7 @@ from typing import Optional
 
 from repro.net.addressing import FourTuple
 from repro.tcp.info import TcpInfo
-from repro.tcp.socket import TcpSocket
+from repro.tcp.socket import TcpSocket, TcpState
 
 
 class SubflowOrigin(enum.Enum):
@@ -102,7 +102,9 @@ class Subflow:
     @property
     def is_usable(self) -> bool:
         """True when the scheduler may place data on this subflow."""
-        return self.is_established and not self.is_closed
+        # Flattened is_established/is_closed: an open subflow whose socket
+        # sits in ESTABLISHED is by definition not closed.
+        return self.closed_at is None and self._socket.state is TcpState.ESTABLISHED
 
     def mark_established(self, when: float) -> None:
         """Record establishment time (called by the connection)."""

@@ -9,7 +9,6 @@ those concepts first-class, hashable types.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
 from functools import total_ordering
 from typing import Union
 
@@ -18,9 +17,10 @@ from typing import Union
 class IPAddress:
     """A dotted-quad IPv4 address with an integer form for hashing/packing."""
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_str")
 
     def __init__(self, address: Union[str, int, "IPAddress"]) -> None:
+        self._str: Union[str, None] = None
         if isinstance(address, IPAddress):
             self._value = address._value
         elif isinstance(address, int):
@@ -73,8 +73,14 @@ class IPAddress:
         return (self._value & mask) == (other.value & mask)
 
     def __str__(self) -> str:
-        v = self._value
-        return f"{(v >> 24) & 0xFF}.{(v >> 16) & 0xFF}.{(v >> 8) & 0xFF}.{v & 0xFF}"
+        # Cached: trace digests render the same handful of addresses over
+        # and over.  The instance is immutable, so the string never stales.
+        text = self._str
+        if text is None:
+            v = self._value
+            text = f"{(v >> 24) & 0xFF}.{(v >> 16) & 0xFF}.{(v >> 8) & 0xFF}.{v & 0xFF}"
+            self._str = text
+        return text
 
     def __repr__(self) -> str:
         return f"IPAddress('{self}')"
@@ -103,19 +109,49 @@ def ip(address: Union[str, int, IPAddress]) -> IPAddress:
     return IPAddress(address)
 
 
-@dataclass(frozen=True)
 class FourTuple:
-    """A TCP connection/subflow identifier: (saddr, sport, daddr, dport)."""
+    """A TCP connection/subflow identifier: (saddr, sport, daddr, dport).
 
-    src: IPAddress
-    sport: int
-    dst: IPAddress
-    dport: int
+    Value object with dataclass-like semantics (equality and hashing over
+    the four fields).  Hand-written rather than a frozen dataclass because
+    one is built per demultiplexed segment: the constructor normalises the
+    addresses, validates the ports and precomputes the hash in a single
+    pass, and must stay cheap.  Instances are immutable by convention.
+    """
 
-    def __post_init__(self) -> None:
-        for name, port in (("sport", self.sport), ("dport", self.dport)):
-            if not 0 <= port <= 0xFFFF:
-                raise ValueError(f"{name} out of range: {port!r}")
+    __slots__ = ("src", "sport", "dst", "dport", "_hash")
+
+    def __init__(self, src: IPAddress, sport: int, dst: IPAddress, dport: int) -> None:
+        if type(src) is not IPAddress:
+            src = IPAddress(src)
+        if type(dst) is not IPAddress:
+            dst = IPAddress(dst)
+        if not 0 <= sport <= 0xFFFF:
+            raise ValueError(f"sport out of range: {sport!r}")
+        if not 0 <= dport <= 0xFFFF:
+            raise ValueError(f"dport out of range: {dport!r}")
+        self.src = src
+        self.sport = sport
+        self.dst = dst
+        self.dport = dport
+        self._hash = hash((src._value, sport, dst._value, dport))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FourTuple):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.sport == other.sport
+            and self.dport == other.dport
+            and self.src._value == other.src._value
+            and self.dst._value == other.dst._value
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"FourTuple(src={self.src!r}, sport={self.sport!r}, dst={self.dst!r}, dport={self.dport!r})"
 
     def reversed(self) -> "FourTuple":
         """The same flow as seen from the other end."""

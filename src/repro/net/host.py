@@ -40,6 +40,10 @@ class Host(Node):
         self._stack: Optional[TransportStack] = None
         self._static_routes: dict[IPAddress, str] = {}
         self._default_interface: Optional[str] = None
+        # (dst, src) -> Interface memo for the send() hot path.  Any event
+        # that can change a routing decision (interface up/down, new
+        # interface, new route, new default) clears it wholesale.
+        self._route_cache: dict[tuple[int, int], Interface] = {}
         self.dropped_no_route = 0
         self.dropped_not_local = 0
 
@@ -55,6 +59,12 @@ class Host(Node):
         """Install the transport stack that will consume received segments."""
         self._stack = stack
 
+    def add_interface(self, name: str, address: IPAddress | str) -> Interface:
+        iface = super().add_interface(name, address)
+        # A new interface can change source-address routing decisions.
+        self._route_cache.clear()
+        return iface
+
     # ------------------------------------------------------------------
     # routing configuration
     # ------------------------------------------------------------------
@@ -63,12 +73,14 @@ class Host(Node):
         if iface_name not in self.interfaces:
             raise KeyError(f"host {self.name} has no interface named {iface_name!r}")
         self._static_routes[IPAddress(destination)] = iface_name
+        self._route_cache.clear()
 
     def set_default_interface(self, iface_name: str) -> None:
         """Interface used when neither policy routing nor a static route matches."""
         if iface_name not in self.interfaces:
             raise KeyError(f"host {self.name} has no interface named {iface_name!r}")
         self._default_interface = iface_name
+        self._route_cache.clear()
 
     def route(self, destination: IPAddress | str, source: Optional[IPAddress | str] = None) -> Optional[Interface]:
         """Select the outgoing interface for a destination/source pair.
@@ -81,7 +93,9 @@ class Host(Node):
             bound = self.interface_for_address(source)
             if bound is not None and bound.is_up:
                 return bound
-        route_iface = self._static_routes.get(IPAddress(destination))
+        if type(destination) is not IPAddress:
+            destination = IPAddress(destination)
+        route_iface = self._static_routes.get(destination)
         if route_iface is not None:
             iface = self.interfaces[route_iface]
             if iface.is_up:
@@ -103,10 +117,14 @@ class Host(Node):
 
         Returns ``True`` when the segment was handed to a link.
         """
-        iface = self.route(segment.dst, segment.src)
+        key = (segment.dst._value, segment.src._value)
+        iface = self._route_cache.get(key)
         if iface is None:
-            self.dropped_no_route += 1
-            return False
+            iface = self.route(segment.dst, segment.src)
+            if iface is None:
+                self.dropped_no_route += 1
+                return False
+            self._route_cache[key] = iface
         return iface.send(segment)
 
     def receive(self, segment: Segment, iface: Interface) -> None:
@@ -125,9 +143,11 @@ class Host(Node):
     # interface state hooks
     # ------------------------------------------------------------------
     def on_interface_up(self, iface: Interface) -> None:
+        self._route_cache.clear()
         if self._stack is not None:
             self._stack.on_local_address_up(iface)
 
     def on_interface_down(self, iface: Interface) -> None:
+        self._route_cache.clear()
         if self._stack is not None:
             self._stack.on_local_address_down(iface)

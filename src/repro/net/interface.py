@@ -27,6 +27,7 @@ class Interface:
         self._name = name
         self._address = IPAddress(address)
         self._link: Optional["Link"] = None
+        self._full_name = f"{node.name}.{name}"
         self._up = True
         self.tx_packets = 0
         self.rx_packets = 0
@@ -65,7 +66,7 @@ class Interface:
     @property
     def full_name(self) -> str:
         """Node-qualified name, e.g. ``"client.wifi0"``."""
-        return f"{self._node.name}.{self._name}"
+        return self._full_name
 
     # ------------------------------------------------------------------
     # link attachment

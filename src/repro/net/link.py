@@ -23,11 +23,17 @@ from repro.sim.engine import Simulator
 class _Direction:
     """State for one direction of a duplex link."""
 
-    __slots__ = ("queue", "busy", "tx_packets", "tx_bytes", "dropped_queue", "dropped_loss")
+    __slots__ = ("queue", "busy", "sending", "wakeup", "tx_packets", "tx_bytes", "dropped_queue", "dropped_loss")
 
     def __init__(self, queue_capacity: int) -> None:
         self.queue: deque[Segment] = deque()
         self.busy = False
+        # The segment currently being serialised and the single completion
+        # event that services the whole burst: instead of allocating one
+        # event per segment, the wakeup is re-armed (with a fresh sequence
+        # number, so ordering is untouched) for each queued segment.
+        self.sending: Segment | None = None
+        self.wakeup = None
         self.tx_packets = 0
         self.tx_bytes = 0
         self.dropped_queue = 0
@@ -108,6 +114,11 @@ class Link:
     def name(self) -> str:
         """Link label."""
         return self._name
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulation engine this link schedules on."""
+        return self._sim
 
     @property
     def rate_bps(self) -> float:
@@ -206,9 +217,9 @@ class Link:
     # ------------------------------------------------------------------
     def transmit(self, segment: Segment, from_iface: Interface) -> None:
         """Accept a segment from ``from_iface`` for transmission."""
-        if id(from_iface) not in self._directions:
+        direction = self._directions.get(id(from_iface))
+        if direction is None:
             raise RuntimeError(f"interface {from_iface.full_name} is not attached to link {self._name}")
-        direction = self._directions[id(from_iface)]
         if self._fault_handler is not None:
             for survivor in self._fault_handler(segment, from_iface):
                 self._admit(survivor, from_iface, direction)
@@ -226,26 +237,35 @@ class Link:
 
     def _start_transmission(self, segment: Segment, from_iface: Interface, direction: _Direction) -> None:
         direction.busy = True
+        direction.sending = segment
         serialisation = (segment.size_bytes * 8.0) / self._rate_bps
-        self._sim.schedule(serialisation, self._transmission_done, segment, from_iface, direction)
+        wakeup = direction.wakeup
+        if wakeup is None:
+            direction.wakeup = self._sim.schedule(serialisation, self._transmission_done, from_iface, direction)
+        else:
+            self._sim.rearm(wakeup, serialisation)
 
-    def _transmission_done(self, segment: Segment, from_iface: Interface, direction: _Direction) -> None:
+    def _transmission_done(self, from_iface: Interface, direction: _Direction) -> None:
+        segment = direction.sending
         direction.tx_packets += 1
         direction.tx_bytes += segment.size_bytes
-        if self._rng.chance(self._loss_rate):
+        # chance(0.0) returns False without consuming a draw, so skipping
+        # the call on loss-free links leaves the RNG stream untouched.
+        if self._loss_rate and self._rng.chance(self._loss_rate):
             direction.dropped_loss += 1
         else:
             to_iface = self._ends[id(from_iface)]
-            self._sim.schedule(self._delay, self._deliver, segment, from_iface, to_iface)
+            self._sim.schedule_pooled(self._delay, self._deliver, segment, from_iface, to_iface)
         if direction.queue:
-            next_segment = direction.queue.popleft()
-            self._start_transmission(next_segment, from_iface, direction)
+            self._start_transmission(direction.queue.popleft(), from_iface, direction)
         else:
             direction.busy = False
+            direction.sending = None
 
     def _deliver(self, segment: Segment, from_iface: Interface, to_iface: Interface) -> None:
-        for observer in self._observers:
-            observer(segment, from_iface, to_iface)
+        if self._observers:
+            for observer in self._observers:
+                observer(segment, from_iface, to_iface)
         to_iface.deliver(segment)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -21,6 +21,9 @@ class Node:
         self._sim = sim
         self._name = name
         self._interfaces: dict[str, Interface] = {}
+        # Address (as a 32-bit int) -> owning interface, first wins; keeps
+        # the per-segment ownership/routing lookups O(1).
+        self._address_index: dict[int, Interface] = {}
 
     # ------------------------------------------------------------------
     # identity / topology
@@ -46,6 +49,7 @@ class Node:
             raise ValueError(f"node {self._name} already has an interface named {name!r}")
         iface = Interface(self, name, IPAddress(address))
         self._interfaces[name] = iface
+        self._address_index.setdefault(iface.address._value, iface)
         return iface
 
     def interface(self, name: str) -> Interface:
@@ -57,11 +61,9 @@ class Node:
 
     def interface_for_address(self, address: IPAddress | str) -> Optional[Interface]:
         """Return the interface owning ``address``, or ``None``."""
-        wanted = IPAddress(address)
-        for iface in self._interfaces.values():
-            if iface.address == wanted:
-                return iface
-        return None
+        if type(address) is not IPAddress:
+            address = IPAddress(address)
+        return self._address_index.get(address._value)
 
     def addresses(self, only_up: bool = True) -> list[IPAddress]:
         """All addresses assigned to this node (by default only up interfaces)."""
@@ -73,8 +75,9 @@ class Node:
 
     def owns_address(self, address: IPAddress | str) -> bool:
         """True when any interface (up or down) owns ``address``."""
-        wanted = IPAddress(address)
-        return any(iface.address == wanted for iface in self._interfaces.values())
+        if type(address) is not IPAddress:
+            address = IPAddress(address)
+        return address._value in self._address_index
 
     # ------------------------------------------------------------------
     # hooks for subclasses

@@ -5,6 +5,17 @@ parsed by the TCP/MPTCP stacks.  Payload bytes are represented by a length
 only (see DESIGN.md): the reproduction never needs actual application bytes,
 which keeps multi-megabyte transfers cheap while preserving every metric the
 paper reports.
+
+Segments are built once and then travel through many hot loops (link
+serialisation, ECMP hashing, demux, tracing), so the class is tuned for
+that access pattern: ``slots=True`` keeps instances small, ``size_bytes``
+and ``option_bytes`` are computed once at construction, the header flags
+are cached as a plain ``int`` so flag tests bypass ``IntFlag`` machinery,
+and a per-segment option-type index makes :meth:`Segment.find_option` a
+dict lookup instead of a linear ``isinstance`` scan.  The only field ever
+mutated in place after construction is ``ttl`` (by routers); every other
+rewrite goes through :func:`dataclasses.replace`, which calls back into
+the hand-written ``__init__`` and therefore recomputes the caches.
 """
 
 from __future__ import annotations
@@ -32,12 +43,24 @@ class TCPFlags(IntFlag):
     ACK = 0x10
 
 
+# Plain-int flag masks for the hot-path helpers below; ``IntFlag`` member
+# access and ``&`` go through enum machinery, a cached int does not.
+_FIN_BIT = 0x01
+_SYN_BIT = 0x02
+_RST_BIT = 0x04
+_PSH_BIT = 0x08
+_ACK_BIT = 0x10
+_CTRL_BITS = _SYN_BIT | _FIN_BIT | _RST_BIT
+
 # A nominal IPv4 + TCP header cost charged on every segment when computing
 # link serialisation times.  MPTCP options add their own length on top.
 HEADER_BYTES = 40
 
+#: Shared option index for the (very common) option-less segment.
+_NO_OPTIONS: dict = {}
 
-@dataclass
+
+@dataclass(init=False, slots=True)
 class Segment:
     """One TCP segment.
 
@@ -60,6 +83,12 @@ class Segment:
     sent_at:
         Simulated time at which the sender handed the segment to the
         network; used for RTT sampling and tracing.
+    option_bytes, size_bytes:
+        Wire sizes, computed once at construction.  Every option class
+        must expose ``wire_length`` (there is deliberately no fallback).
+    options_by_type:
+        Read-only mapping of option class to the first carried instance of
+        that class; the demux hot loops use it for O(1) option lookups.
     """
 
     src: IPAddress
@@ -75,12 +104,63 @@ class Segment:
     ttl: int = 64
     sent_at: Optional[float] = None
     segment_id: int = field(default_factory=lambda: next(_segment_ids))
+    option_bytes: int = field(init=False, repr=False, compare=False)
+    size_bytes: int = field(init=False, repr=False, compare=False)
+    _flag_bits: int = field(init=False, repr=False, compare=False)
+    options_by_type: dict = field(init=False, repr=False, compare=False)
 
-    def __post_init__(self) -> None:
-        if self.payload_len < 0:
-            raise ValueError(f"payload_len cannot be negative: {self.payload_len!r}")
-        if not isinstance(self.options, tuple):
-            self.options = tuple(self.options)
+    def __init__(
+        self,
+        src: IPAddress,
+        dst: IPAddress,
+        sport: int,
+        dport: int,
+        seq: int = 0,
+        ack: int = 0,
+        flags: TCPFlags = TCPFlags.NONE,
+        payload_len: int = 0,
+        options: tuple = (),
+        window: int = 65535,
+        ttl: int = 64,
+        sent_at: Optional[float] = None,
+        segment_id: Optional[int] = None,
+    ) -> None:
+        # Hand-written so construction is one call instead of the generated
+        # ``__init__`` + ``__post_init__`` pair (segments are built on the
+        # per-packet hot path).  ``dataclasses.replace`` calls back into this
+        # signature, passing the original ``segment_id`` through.
+        if payload_len < 0:
+            raise ValueError(f"payload_len cannot be negative: {payload_len!r}")
+        self.src = src
+        self.dst = dst
+        self.sport = sport
+        self.dport = dport
+        self.seq = seq
+        self.ack = ack
+        self.flags = flags
+        self.payload_len = payload_len
+        if type(options) is not tuple:
+            options = tuple(options)
+        self.options = options
+        self.window = window
+        self.ttl = ttl
+        self.sent_at = sent_at
+        self.segment_id = next(_segment_ids) if segment_id is None else segment_id
+        self._flag_bits = int(flags)
+        if options:
+            total = 0
+            index: dict = {}
+            for option in options:
+                total += option.wire_length
+                option_type = type(option)
+                if option_type not in index:
+                    index[option_type] = option
+            self.option_bytes = total
+            self.options_by_type = index
+        else:
+            self.option_bytes = 0
+            self.options_by_type = _NO_OPTIONS
+        self.size_bytes = HEADER_BYTES + self.option_bytes + payload_len
 
     # ------------------------------------------------------------------
     # flag helpers
@@ -88,40 +168,45 @@ class Segment:
     @property
     def is_syn(self) -> bool:
         """True for SYN segments (including SYN+ACK)."""
-        return bool(self.flags & TCPFlags.SYN)
+        return self._flag_bits & _SYN_BIT != 0
 
     @property
     def is_ack(self) -> bool:
         """True when the ACK flag is set."""
-        return bool(self.flags & TCPFlags.ACK)
+        return self._flag_bits & _ACK_BIT != 0
 
     @property
     def is_fin(self) -> bool:
         """True when the FIN flag is set."""
-        return bool(self.flags & TCPFlags.FIN)
+        return self._flag_bits & _FIN_BIT != 0
 
     @property
     def is_rst(self) -> bool:
         """True when the RST flag is set."""
-        return bool(self.flags & TCPFlags.RST)
+        return self._flag_bits & _RST_BIT != 0
 
     @property
     def is_pure_ack(self) -> bool:
         """True for segments that carry no data and no control flags."""
-        return (
-            self.is_ack
-            and self.payload_len == 0
-            and not (self.flags & (TCPFlags.SYN | TCPFlags.FIN | TCPFlags.RST))
-        )
+        bits = self._flag_bits
+        return bits & _ACK_BIT != 0 and self.payload_len == 0 and bits & _CTRL_BITS == 0
 
     # ------------------------------------------------------------------
     # option helpers
     # ------------------------------------------------------------------
     def find_option(self, option_type: Type[OptionT]) -> Optional[OptionT]:
         """Return the first option of the given class, or ``None``."""
-        for option in self.options:
-            if isinstance(option, option_type):
-                return option
+        index = self.options_by_type
+        option = index.get(option_type)
+        if option is not None:
+            return option
+        if not index:
+            return None
+        # The index is keyed by exact type; fall back to the isinstance
+        # scan so lookups by a base class keep working.
+        for candidate in self.options:
+            if isinstance(candidate, option_type):
+                return candidate
         return None
 
     def has_option(self, option_type: type) -> bool:
@@ -141,31 +226,27 @@ class Segment:
         return FourTuple(self.src, self.sport, self.dst, self.dport)
 
     @property
-    def option_bytes(self) -> int:
-        """Total wire size of the carried options."""
-        return sum(getattr(option, "wire_length", 0) for option in self.options)
-
-    @property
-    def size_bytes(self) -> int:
-        """Total on-the-wire size charged to links (headers + options + payload)."""
-        return HEADER_BYTES + self.option_bytes + self.payload_len
-
-    @property
     def end_seq(self) -> int:
         """Sequence number of the byte just after this segment's payload.
 
         SYN and FIN each consume one sequence number, like in real TCP.
         """
+        bits = self._flag_bits
         length = self.payload_len
-        if self.flags & TCPFlags.SYN:
+        if bits & _SYN_BIT:
             length += 1
-        if self.flags & TCPFlags.FIN:
+        if bits & _FIN_BIT:
             length += 1
         return self.seq + length
 
     def flag_names(self) -> str:
         """Compact flag string such as ``"SYN|ACK"`` (used in traces)."""
-        names = [flag.name for flag in (TCPFlags.SYN, TCPFlags.ACK, TCPFlags.FIN, TCPFlags.RST, TCPFlags.PSH) if self.flags & flag]
+        bits = self._flag_bits
+        names = [
+            name
+            for bit, name in ((_SYN_BIT, "SYN"), (_ACK_BIT, "ACK"), (_FIN_BIT, "FIN"), (_RST_BIT, "RST"), (_PSH_BIT, "PSH"))
+            if bits & bit
+        ]
         return "|".join(names) if names else "-"
 
     def __str__(self) -> str:

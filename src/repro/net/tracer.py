@@ -9,7 +9,6 @@ sequence plot, Figure 3's SYN-to-SYN delays) works from these records.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
 from repro.net.interface import Interface
@@ -17,15 +16,29 @@ from repro.net.link import Link
 from repro.net.packet import Segment, TCPFlags
 
 
-@dataclass(frozen=True)
 class PacketRecord:
-    """One captured segment."""
+    """One captured segment.
 
-    time: float
-    segment: Segment
-    from_iface: str
-    to_iface: str
-    link: str
+    Hand-written value object rather than a frozen dataclass: one record
+    is built per delivered segment, and the frozen machinery (a guarded
+    ``object.__setattr__`` per field) costs more than the rest of the
+    capture path.  Treat instances as immutable.
+    """
+
+    __slots__ = ("time", "segment", "from_iface", "to_iface", "link")
+
+    def __init__(self, time: float, segment: Segment, from_iface: str, to_iface: str, link: str) -> None:
+        self.time = time
+        self.segment = segment
+        self.from_iface = from_iface
+        self.to_iface = to_iface
+        self.link = link
+
+    def __repr__(self) -> str:
+        return (
+            f"PacketRecord(time={self.time!r}, segment={self.segment!r}, "
+            f"from_iface={self.from_iface!r}, to_iface={self.to_iface!r}, link={self.link!r})"
+        )
 
 
 class PacketTracer:
@@ -36,6 +49,7 @@ class PacketTracer:
         self._keep = keep
         self._records: list[PacketRecord] = []
         self._links: list[Link] = []
+        self._sim = None
 
     @property
     def name(self) -> str:
@@ -50,7 +64,24 @@ class PacketTracer:
     def attach(self, link: Link) -> "PacketTracer":
         """Start capturing deliveries on ``link``.  Returns ``self``."""
         self._links.append(link)
-        link.add_observer(self._observe)
+        self._sim = link.sim
+        # Per-link closure: the link name and the record list are bound
+        # once, so the per-delivery work is one PacketRecord plus an
+        # append.  ``clear()`` empties the list in place, keeping the
+        # captured reference valid.
+        sim = link.sim
+        link_name = link.name
+        keep = self._keep
+        records = self._records
+
+        def observe(segment: Segment, from_iface: Interface, to_iface: Interface) -> None:
+            if keep is not None and not keep(segment):
+                return
+            records.append(
+                PacketRecord(sim.now, segment, from_iface.full_name, to_iface.full_name, link_name)
+            )
+
+        link.add_observer(observe)
         return self
 
     def attach_all(self, links: Iterable[Link]) -> "PacketTracer":
@@ -66,13 +97,14 @@ class PacketTracer:
     def _observe(self, segment: Segment, from_iface: Interface, to_iface: Interface) -> None:
         if self._keep is not None and not self._keep(segment):
             return
+        link = from_iface.link
         self._records.append(
             PacketRecord(
-                time=from_iface.node.sim.now,
-                segment=segment,
-                from_iface=from_iface.full_name,
-                to_iface=to_iface.full_name,
-                link=from_iface.link.name if from_iface.link else "?",
+                self._sim.now,
+                segment,
+                from_iface.full_name,
+                to_iface.full_name,
+                link.name if link else "?",
             )
         )
 

@@ -52,9 +52,12 @@ class Timer:
 
     def start(self, delay: float) -> None:
         """Arm (or re-arm) the timer to fire ``delay`` seconds from now."""
-        self.stop()
-        self._expiry = self._sim.now + delay
-        self._event = self._sim.schedule(delay, self._fire)
+        event = self._event
+        if event is not None:
+            event.cancel()
+        sim = self._sim
+        self._expiry = sim.now + delay
+        self._event = sim.schedule(delay, self._fire)
 
     def stop(self) -> None:
         """Disarm the timer if it is armed."""

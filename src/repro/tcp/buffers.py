@@ -8,11 +8,12 @@ stored anywhere in the reproduction.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class SentSegment:
     """One segment sitting in the retransmission queue."""
 
@@ -36,7 +37,9 @@ class RetransmissionQueue:
     """Ordered queue of sent-but-unacknowledged segments."""
 
     def __init__(self) -> None:
-        self._segments: list[SentSegment] = []
+        # A deque: cumulative ACKs strip segments from the front, so the
+        # hot ``ack_upto`` path must not shift the whole list per segment.
+        self._segments: deque[SentSegment] = deque()
 
     def __len__(self) -> int:
         return len(self._segments)
@@ -45,7 +48,7 @@ class RetransmissionQueue:
         return bool(self._segments)
 
     @property
-    def segments(self) -> list[SentSegment]:
+    def segments(self) -> "deque[SentSegment]":
         """The queued segments in sequence order (do not mutate)."""
         return self._segments
 
@@ -60,9 +63,10 @@ class RetransmissionQueue:
 
     def ack_upto(self, ack: int) -> list[SentSegment]:
         """Remove and return every segment fully covered by ``ack``."""
+        segments = self._segments
         acked: list[SentSegment] = []
-        while self._segments and self._segments[0].end_seq <= ack:
-            acked.append(self._segments.pop(0))
+        while segments and segments[0].seq + segments[0].length <= ack:
+            acked.append(segments.popleft())
         return acked
 
     def outstanding_bytes(self) -> int:
@@ -75,8 +79,8 @@ class RetransmissionQueue:
 
     def clear(self) -> list[SentSegment]:
         """Drop everything (connection aborted); returns what was pending."""
-        pending = self._segments
-        self._segments = []
+        pending = list(self._segments)
+        self._segments.clear()
         return pending
 
 
@@ -134,12 +138,17 @@ class ReceiveReassembly:
         if length == 0:
             return 0
         start, end = seq, seq + length
-        if end <= self._rcv_nxt:
+        rcv_nxt = self._rcv_nxt
+        if end <= rcv_nxt:
             self._duplicate_bytes += length
             return 0
-        if start < self._rcv_nxt:
-            self._duplicate_bytes += self._rcv_nxt - start
-            start = self._rcv_nxt
+        if start < rcv_nxt:
+            self._duplicate_bytes += rcv_nxt - start
+            start = rcv_nxt
+        if start == rcv_nxt and not self._out_of_order:
+            # In-order fast path: nothing to merge, the window just slides.
+            self._rcv_nxt = end
+            return end - start
         new_bytes = self._insert(start, end)
         self._advance()
         return new_bytes

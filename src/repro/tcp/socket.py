@@ -32,6 +32,15 @@ from repro.tcp.info import TcpInfo
 from repro.tcp.options import SackOption
 from repro.tcp.rtt import RttEstimator
 
+# Hot-path constants: plain-int flag masks (segment flag tests without
+# IntFlag machinery), precombined emission flags, and the states in which
+# fresh data may be sent.
+_FIN_BIT = 0x01
+_SYN_BIT = 0x02
+_RST_BIT = 0x04
+_ACK_BIT = 0x10
+_ACK_PSH_FLAGS = TCPFlags.ACK | TCPFlags.PSH
+
 
 class TcpState(enum.Enum):
     """TCP connection states (the subset the simulation uses)."""
@@ -46,6 +55,9 @@ class TcpState(enum.Enum):
     LAST_ACK = "LAST_ACK"
     CLOSING = "CLOSING"
     TIME_WAIT = "TIME_WAIT"
+
+
+_SEND_READY_STATES = (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT)
 
 
 class SubflowObserver:
@@ -247,8 +259,14 @@ class TcpSocket:
 
     def available_window(self) -> int:
         """Bytes of new data the congestion/receive windows currently allow."""
-        usable = min(self.congestion.cwnd, self._peer_window)
-        return max(0, usable - self.in_flight)
+        cwnd = self.congestion.cwnd
+        peer = self._peer_window
+        usable = cwnd if cwnd < peer else peer
+        in_flight = self.snd_nxt - self.snd_una
+        if in_flight < 0:
+            in_flight = 0
+        available = usable - in_flight
+        return available if available > 0 else 0
 
     def outstanding_metadata(self) -> list:
         """Metadata (DSS mappings) of every sent-but-unacknowledged segment.
@@ -357,7 +375,7 @@ class TcpSocket:
         every segment.  Returns ``False`` when the socket cannot send (not
         established, or no window).
         """
-        if self.state not in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT):
+        if self.state not in _SEND_READY_STATES:
             return False
         if length <= 0 or length > self._config.mss:
             raise ValueError(f"segment length must be in (0, mss]; got {length!r}")
@@ -369,7 +387,7 @@ class TcpSocket:
         self.snd_nxt += length
         options = self._observer.data_options(self, metadata)
         self._emit(
-            flags=TCPFlags.ACK | TCPFlags.PSH,
+            flags=_ACK_PSH_FLAGS,
             seq=seq,
             ack=self.rcv_nxt,
             payload_len=length,
@@ -381,7 +399,7 @@ class TcpSocket:
 
     def send_ack(self) -> None:
         """Send a pure acknowledgement (also used as an MPTCP data ack carrier)."""
-        if self.state == TcpState.CLOSED:
+        if self.state is TcpState.CLOSED:
             return
         self._emit(
             flags=TCPFlags.ACK,
@@ -466,43 +484,45 @@ class TcpSocket:
         self._peer_window = segment.window
         self._observer.segment_options_received(self, segment)
 
-        if segment.is_rst:
+        bits = segment._flag_bits
+        if bits & _RST_BIT:
             self._enter_closed(errno.ECONNRESET)
             return
 
-        if self.state == TcpState.CLOSED:
+        state = self.state
+        if state is TcpState.CLOSED:
             # Only a passive open (SYN on a listening port) is valid here.
-            if segment.is_syn and not segment.is_ack:
+            if bits & _SYN_BIT and not bits & _ACK_BIT:
                 self._handle_passive_syn(segment)
             return
 
-        if self.state == TcpState.SYN_SENT:
+        if state is TcpState.SYN_SENT:
             self._handle_syn_sent(segment)
             return
 
-        if segment.is_syn and not segment.is_ack:
-            # Retransmitted SYN from the peer: repeat our SYN+ACK.
-            if self.state == TcpState.SYN_RECEIVED:
-                self._send_syn_ack()
-            return
-
-        if segment.is_syn and segment.is_ack:
+        if bits & _SYN_BIT:
+            if not bits & _ACK_BIT:
+                # Retransmitted SYN from the peer: repeat our SYN+ACK.
+                if self.state is TcpState.SYN_RECEIVED:
+                    self._send_syn_ack()
+                return
             # Duplicate SYN+ACK (our handshake ACK was lost): re-acknowledge.
             self.send_ack()
             return
 
-        if segment.is_ack:
+        if bits & _ACK_BIT:
             self._process_ack(segment)
             if self.closed_at is not None:
                 return
 
         data_advanced = False
-        if segment.payload_len > 0:
+        payload_len = segment.payload_len
+        if payload_len > 0:
             data_advanced = self._process_data(segment)
 
-        if segment.is_fin:
+        if bits & _FIN_BIT:
             self._process_fin(segment)
-        elif segment.payload_len > 0:
+        elif payload_len > 0:
             # Acknowledge every data segment immediately (no delayed ACKs).
             self.send_ack()
         if data_advanced:
@@ -548,7 +568,7 @@ class TcpSocket:
     def _process_ack(self, segment: Segment) -> None:
         ack = segment.ack
 
-        if self.state == TcpState.SYN_RECEIVED:
+        if self.state is TcpState.SYN_RECEIVED:
             if ack >= self._iss + 1:
                 self.snd_una = max(self.snd_una, ack)
                 self._syn_timer.stop()
@@ -564,18 +584,15 @@ class TcpSocket:
         if ack > self.snd_nxt:
             return
 
-        sack = segment.find_option(SackOption)
+        sack = segment.options_by_type.get(SackOption)
         if sack is not None:
             self._process_sack(sack)
 
         if ack > self.snd_una:
-            newly_acked = ack - self.snd_una
             self.snd_una = ack
             self.last_ack_time = self._sim.now
             self._dupacks = 0
             acked_segments = self._rtx_queue.ack_upto(ack)
-            payload_acked = sum(s.length for s in acked_segments)
-            self.bytes_acked += payload_acked
 
             # Karn's algorithm: only sample RTT from segments sent exactly
             # once.  Additionally skip sampling on recovery ACKs (an ACK
@@ -583,12 +600,20 @@ class TcpSocket:
             # segments sat behind a hole and their delay measures the
             # recovery time, not the path RTT.  SACK arrival already
             # produced accurate samples during the recovery.
-            recovery_ack = any(sent.retransmitted or sent.sacked for sent in acked_segments)
+            payload_acked = 0
+            recovery_ack = False
             sample_segment = None
-            if not recovery_ack:
-                for sent in acked_segments:
-                    if not sent.retransmitted:
-                        sample_segment = sent
+            for sent in acked_segments:
+                payload_acked += sent.length
+                if sent.retransmitted:
+                    recovery_ack = True
+                else:
+                    if sent.sacked:
+                        recovery_ack = True
+                    sample_segment = sent
+            self.bytes_acked += payload_acked
+            if recovery_ack:
+                sample_segment = None
             if sample_segment is not None:
                 self.rtt.add_sample(self._sim.now - sample_segment.first_sent_at)
             else:
@@ -614,7 +639,7 @@ class TcpSocket:
                 metadata = [s.metadata for s in acked_segments if s.metadata is not None]
                 self._observer.on_acked(self, metadata, payload_acked)
             self._maybe_send_fin()
-            if self.available_window() > 0 and self.state in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT):
+            if self.available_window() > 0 and self.state in _SEND_READY_STATES:
                 self._observer.on_send_space(self)
         elif (
             ack == self.snd_una
@@ -798,27 +823,32 @@ class TcpSocket:
         options: tuple,
         with_ack_flag: bool = True,
     ) -> None:
+        flags = int(flags)
         if with_ack_flag:
-            flags |= TCPFlags.ACK
+            flags |= _ACK_BIT
         if (
-            flags & TCPFlags.ACK
+            flags & _ACK_BIT
             and self._reassembly is not None
             and self._reassembly.out_of_order_ranges
         ):
             blocks = tuple(self._reassembly.sack_blocks(4))
             options = tuple(options) + (SackOption(blocks=blocks),)
+        # Positional construction (src, dst, sport, dport, seq, ack, flags,
+        # payload_len, options, window, ttl, sent_at) — this is the single
+        # hottest allocation in the simulator.
         segment = Segment(
-            src=self._local_addr,
-            dst=self._remote_addr,
-            sport=self._local_port,
-            dport=self._remote_port,
-            seq=seq,
-            ack=ack,
-            flags=flags,
-            payload_len=payload_len,
-            options=tuple(options),
-            window=self._config.receive_window,
-            sent_at=self._sim.now,
+            self._local_addr,
+            self._remote_addr,
+            self._local_port,
+            self._remote_port,
+            seq,
+            ack,
+            flags,
+            payload_len,
+            options,
+            self._config.receive_window,
+            64,
+            self._sim.now,
         )
         self.segments_sent += 1
         self._transmit(segment)

@@ -36,9 +36,18 @@ def trace_digest(tracer: PacketTracer) -> str:
     determinism regression tests key on.
     """
     digest = hashlib.sha256()
+    # Option tuples are widely shared between segments (pure acks reuse one
+    # cached DSS tuple), so the joined type-name string is memoised by tuple
+    # identity; every record holds its segment alive, so ids stay stable for
+    # the duration of the loop.
+    names_by_options: dict[int, str] = {}
     for record in tracer.records:
         segment = record.segment
-        option_names = ",".join(type(option).__name__ for option in segment.options)
+        options = segment.options
+        option_names = names_by_options.get(id(options))
+        if option_names is None:
+            option_names = ",".join(type(option).__name__ for option in options)
+            names_by_options[id(options)] = option_names
         digest.update(
             (
                 f"{record.time!r}|{record.link}|{record.from_iface}>{record.to_iface}|"

@@ -299,3 +299,160 @@ class TestSchedulerProperties:
             assert scheduler.name == name
             # Case-insensitive lookup is part of the contract.
             assert type(make_scheduler(name.upper())) is type(scheduler)
+
+
+# ----------------------------------------------------------------------
+# event kernel vs. reference heap
+# ----------------------------------------------------------------------
+# The simulator's two-tier kernel (calendar wheel + spill heap) must be
+# observationally identical to the flat heapq it replaced: events fire in
+# (time, schedule-order) order, cancellation invalidates in place, compact()
+# never changes what runs, and run(until=...) stops at the same point.  The
+# delay strategy mixes arbitrary floats with exact bucket-width multiples so
+# same-time collisions, bucket boundaries (2 ms), the wheel horizon (512 ms)
+# and the spill heap are all exercised.
+
+_kernel_delays = st.one_of(
+    st.floats(min_value=0.0, max_value=1.5, allow_nan=False, allow_infinity=False),
+    st.sampled_from([0.0, 0.001, 0.002, 0.004, 0.256, 0.510, 0.512, 0.514, 1.0]),
+)
+
+
+class TestEventKernelProperties:
+    @given(st.lists(_kernel_delays, min_size=1, max_size=80))
+    @settings(max_examples=120, deadline=None)
+    def test_execution_order_matches_reference_heap(self, delays):
+        """Pop order equals a heapq over (time, schedule-order) pairs."""
+        from repro.sim import Simulator
+
+        sim = Simulator(seed=1)
+        order = []
+        for index, delay in enumerate(delays):
+            sim.schedule(delay, order.append, index)
+        sim.run()
+        reference = [index for _, index in sorted((d, i) for i, d in enumerate(delays))]
+        assert order == reference
+        assert sim.pending_events == 0
+        assert sim.processed_events == len(delays)
+
+    @given(st.lists(st.tuples(_kernel_delays, st.booleans()), min_size=1, max_size=60))
+    @settings(max_examples=120, deadline=None)
+    def test_cancellation_by_invalidation(self, items):
+        """Cancelled events never fire; survivors keep the reference order."""
+        from repro.sim import Simulator
+
+        sim = Simulator(seed=1)
+        order = []
+        events = [
+            sim.schedule(delay, order.append, index)
+            for index, (delay, _) in enumerate(items)
+        ]
+        for event, (_, cancel) in zip(events, items):
+            if cancel:
+                event.cancel()
+        live = [(delay, index) for index, (delay, cancel) in enumerate(items) if not cancel]
+        assert sim.pending_events == len(live)
+        sim.run()
+        assert order == [index for _, index in sorted(live)]
+
+    @given(st.lists(st.tuples(_kernel_delays, _kernel_delays), min_size=1, max_size=40))
+    @settings(max_examples=120, deadline=None)
+    def test_cancel_during_run_matches_reference(self, pairs):
+        """A canceller event stops its target iff it fires strictly first.
+
+        The target is scheduled before its canceller, so at equal times the
+        target's lower sequence number wins — exactly the flat-heap rule.
+        """
+        from repro.sim import Simulator
+
+        sim = Simulator(seed=1)
+        fired = []
+        for index, (target_delay, cancel_delay) in enumerate(pairs):
+            target = sim.schedule(target_delay, fired.append, index)
+            sim.schedule(cancel_delay, sim.cancel, target)
+        sim.run()
+        expected = [index for index, (t, c) in enumerate(pairs) if t <= c]
+        assert sorted(fired) == expected
+
+    @given(st.lists(st.tuples(_kernel_delays, st.booleans()), min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_compact_equivalence(self, items):
+        """compact() after cancellations never changes observable behaviour."""
+        from repro.sim import Simulator
+
+        def trace(do_compact):
+            sim = Simulator(seed=1)
+            order = []
+            events = [
+                sim.schedule(delay, order.append, index)
+                for index, (delay, _) in enumerate(items)
+            ]
+            for event, (_, cancel) in zip(events, items):
+                if cancel:
+                    event.cancel()
+            if do_compact:
+                sim.compact()
+            sim.run()
+            return order, sim.now, sim.processed_events, sim.pending_events
+
+        assert trace(True) == trace(False)
+
+    @given(
+        st.lists(_kernel_delays, min_size=1, max_size=60),
+        _kernel_delays,
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_run_until_stop_matches_reference(self, delays, until):
+        """run(until=...) executes exactly the events at time <= until."""
+        from repro.sim import Simulator
+
+        sim = Simulator(seed=1)
+        order = []
+        for index, delay in enumerate(delays):
+            sim.schedule(delay, order.append, index)
+        stopped_at = sim.run(until=until)
+        ranked = sorted((d, i) for i, d in enumerate(delays))
+        assert order == [index for delay, index in ranked if delay <= until]
+        assert stopped_at == until
+        assert sim.now == until
+        sim.run()
+        assert order == [index for _, index in ranked]
+
+    @given(st.lists(st.tuples(_kernel_delays, st.one_of(st.none(), _kernel_delays)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_nested_scheduling_matches_reference_simulation(self, pairs):
+        """Events scheduled from inside callbacks follow the same rule.
+
+        Mirrors the run against a literal heapq simulation that assigns
+        sequence numbers in the same order the kernel does (one per
+        schedule call, in call order).
+        """
+        import heapq
+        import itertools
+
+        from repro.sim import Simulator
+
+        sim = Simulator(seed=1)
+        order = []
+
+        def fire(index, follow_delay):
+            order.append(index)
+            if follow_delay is not None:
+                sim.schedule(follow_delay, fire, index + 1000, None)
+
+        for index, (delay, follow) in enumerate(pairs):
+            sim.schedule(delay, fire, index, follow)
+        sim.run()
+
+        sequence = itertools.count()
+        heap = []
+        for index, (delay, follow) in enumerate(pairs):
+            heapq.heappush(heap, (delay, next(sequence), index, follow))
+        reference = []
+        while heap:
+            time_, _, index, follow = heapq.heappop(heap)
+            reference.append(index)
+            if follow is not None:
+                heapq.heappush(heap, (time_ + follow, next(sequence), index + 1000, None))
+        assert order == reference

@@ -202,7 +202,7 @@ class TestRunnerIntegration:
         from repro.experiments import runner
 
         opt_in = runner.OPT_IN
-        assert {"sweep", "cell", "list", "baseline", "diff", "fuzz"} == set(opt_in)
+        assert {"sweep", "cell", "list", "baseline", "diff", "fuzz", "bench"} == set(opt_in)
         ran = []
         monkeypatch.setattr(
             runner, "EXPERIMENTS", {name: lambda args, name=name: ran.append(name) or ""
