@@ -11,10 +11,15 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.analysis.cdf import Cdf
-from repro.analysis.stats import SummaryStats, summarize
+from repro.analysis.stats import SummaryStats, _percentile, summarize
 
 #: The grid axes cells can be grouped by.
-GROUP_AXES = ("experiment", "scenario", "scheduler", "controller")
+GROUP_AXES = ("experiment", "scenario", "scheduler", "controller", "connections")
+
+#: The statistics :func:`fold_series` emits, in output order.  This order
+#: is a compatibility surface: the AggregateProbe's metric keys — and
+#: therefore the canonical campaign JSON — follow it.
+AGGREGATE_STATS = ("sum", "mean", "p50", "p95", "min", "max")
 
 
 def validate_axes(by: Sequence[str]) -> None:
@@ -27,8 +32,34 @@ def validate_axes(by: Sequence[str]) -> None:
 def _axis_value(cell, axis: str) -> str:
     spec = cell.spec if hasattr(cell, "spec") else cell["spec"]
     if isinstance(spec, Mapping):
+        # ``connections`` is omitted from serialised specs at its default
+        # of 1 (see CellSpec.as_dict), so tolerate the missing key.
+        if axis == "connections" and axis not in spec:
+            return "1"
         return str(spec[axis])
     return str(getattr(spec, axis))
+
+
+def fold_series(values: Iterable[float], prefix: str) -> dict[str, Optional[float]]:
+    """Fold a per-connection metric series into fixed summary statistics.
+
+    Returns ``{prefix_sum, prefix_mean, prefix_p50, prefix_p95, prefix_min,
+    prefix_max}`` in the :data:`AGGREGATE_STATS` order; every value is
+    ``None`` when the series is empty.  Used by the AggregateProbe to keep
+    many-connection cell output bounded: the report carries six numbers per
+    metric family no matter how many connections the cell ran.
+    """
+    data = sorted(float(value) for value in values)
+    if not data:
+        return {f"{prefix}_{stat}": None for stat in AGGREGATE_STATS}
+    return {
+        f"{prefix}_sum": sum(data),
+        f"{prefix}_mean": sum(data) / len(data),
+        f"{prefix}_p50": _percentile(data, 0.50),
+        f"{prefix}_p95": _percentile(data, 0.95),
+        f"{prefix}_min": data[0],
+        f"{prefix}_max": data[-1],
+    }
 
 
 def _cell_result(cell) -> Mapping:

@@ -24,6 +24,7 @@ class BulkSenderApp(Application):
         self.close_when_done = close_when_done
         self.started_at: Optional[float] = None
         self.completed_at: Optional[float] = None
+        self.acked_bytes = 0
 
     @property
     def completed(self) -> bool:
@@ -43,6 +44,7 @@ class BulkSenderApp(Application):
         conn.send(self.total_bytes)
 
     def on_data_acked(self, conn: MptcpConnection, data_una: int) -> None:
+        self.acked_bytes = min(int(data_una), self.total_bytes)
         if data_una >= self.total_bytes and self.completed_at is None:
             self.completed_at = conn.stack.sim.now
             if self.close_when_done:

@@ -67,6 +67,19 @@ BENCH_CELLS: dict[str, dict] = {
         # workload still spends most simulated time idle between messages.
         "params": {"message_bytes": 400, "message_interval": 0.2, "horizon": 20.0},
     },
+    "bulk_many": {
+        "experiment": "bulk_transfer",
+        "scenario": "dual_homed",
+        "scheduler": "lowest_rtt",
+        "controller": "passive",
+        "seed_index": 0,
+        # The scale-axis cell: 50 tiny concurrent transfers through one
+        # bottleneck, trace off (the capture list would dominate both the
+        # wall clock and memory at this connection count).
+        "connections": 50,
+        "params": {"transfer_bytes": 4_000, "horizon": 10.0,
+                   "trace_probe": False, "connection_stagger": 2.0},
+    },
 }
 
 #: Cells per timed batch; small enough to keep a four-workload round under

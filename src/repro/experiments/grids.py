@@ -9,6 +9,8 @@ sweep the same matrices.  Three tiers:
 * ``full`` — every workload × scheduler × controller × dual-path scenario;
 * ``workloads`` — every registered workload over every registered
   scenario (the orthogonal matrix the unified harness unlocked);
+* ``scale`` — one workload swept along the ``connections`` axis
+  (1/10/100/500 concurrent connections per cell);
 * ``downgrade`` — MP_CAPABLE-interference scenarios next to their clean
   twins (the plain-TCP fallback regression matrix).
 
@@ -107,6 +109,34 @@ def workloads_grid(campaign_seed: int = 1) -> CampaignGrid:
             "object_size": 50_000,
             "message_interval": 2.0,
             "horizon": 15.0,
+        },
+    )
+
+
+def scale_grid(campaign_seed: int = 1) -> CampaignGrid:
+    """The many-connection matrix: one workload swept along the scale axis.
+
+    Four bulk-transfer cells differing only in concurrent connection count
+    (1, 10, 100, 500) over the shared dual-homed bottleneck.  Transfers are
+    deliberately small and the packet trace is off: the point of the grid
+    is connection-count scaling and the bounded ``agg_*`` summary metrics,
+    not per-cell wire detail.  Connection starts are staggered over
+    ``connection_stagger`` seconds with offsets derived from the cell seed.
+    """
+    return CampaignGrid(
+        name="scale",
+        campaign_seed=campaign_seed,
+        experiments=["bulk_transfer"],
+        scenarios=["dual_homed"],
+        schedulers=["lowest_rtt"],
+        controllers=["passive"],
+        connections=[1, 10, 100, 500],
+        seeds=1,
+        params={
+            "transfer_bytes": 4_000,
+            "horizon": 12.0,
+            "trace_probe": False,
+            "connection_stagger": 2.0,
         },
     )
 
@@ -251,6 +281,7 @@ def named_grid(name: str, campaign_seed: int = 1) -> CampaignGrid:
         "default": default_grid,
         "full": full_grid,
         "workloads": workloads_grid,
+        "scale": scale_grid,
         "fuzz": fuzz_grid,
         "downgrade": downgrade_grid,
     }

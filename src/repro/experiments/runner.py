@@ -246,10 +246,13 @@ def _run_cell(args: argparse.Namespace) -> str:
             scheduler=args.scheduler,
             seed=args.seed,
             horizon=args.horizon,
+            connections=args.connections,
             params=params,
         )
     )
     key = f"{args.workload}/{args.scenario}/{args.scheduler}/{args.controller}/seed{args.seed}"
+    if args.connections != 1:
+        key += f"/conn{args.connections}"
     lines = [f"cell {key}:"]
     for metric, value in sorted(run.metrics.items()):
         lines.append(f"  {metric} = {value}")
@@ -305,6 +308,27 @@ def _run_bench(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _format_grid_axes(name: str) -> str:
+    """One ``list`` line per named grid: its axes, spelled out.
+
+    A grid is more than a name — it is a cell count and a set of axis
+    values (including the ``connections`` scale axis); listing them saves a
+    trip to the source when deciding what ``sweep --grid`` will run.
+    """
+    from repro.experiments.grids import named_grid
+
+    grid = named_grid(name)
+    axes = [
+        f"experiments={','.join(grid.experiments)}",
+        f"scenarios={','.join(grid.scenarios)}",
+        f"schedulers={','.join(grid.schedulers)}",
+        f"controllers={','.join(grid.controllers)}",
+        f"connections={','.join(str(count) for count in grid.connections)}",
+        f"seeds={grid.seeds}",
+    ]
+    return f"{name} ({grid.cell_count} cells)\n    " + "\n    ".join(axes)
+
+
 def _list_registries(args: argparse.Namespace) -> str:
     """Print every axis of the workload × scenario × controller grid."""
     from repro.experiments.grids import figure_campaigns
@@ -312,9 +336,10 @@ def _list_registries(args: argparse.Namespace) -> str:
     from repro.mptcp.scheduler import SCHEDULER_REGISTRY
     from repro.workloads import CONTROLLERS, PROBES, SCENARIOS, WORKLOADS
 
-    grids = ["quick", "default", "full", "workloads", "fuzz", "downgrade"] + sorted(
-        figure_campaigns()
-    )
+    grid_names = [
+        "quick", "default", "full", "workloads", "scale", "fuzz", "downgrade",
+    ] + sorted(figure_campaigns())
+    grids = [_format_grid_axes(name) for name in grid_names]
     fault_models = [
         f"{name} — {FAULT_MODELS[name].description}" for name in sorted(FAULT_MODELS)
     ]
@@ -406,8 +431,8 @@ def _add_campaign_options(
     name, so only ``sweep`` keeps the ``default`` grid default.
     """
     grid_help = (
-        "named campaign grid (quick, default, full, workloads, fuzz, downgrade, "
-        "fig2a, fig2b, fig2c, fig3, longlived)"
+        "named campaign grid (quick, default, full, workloads, scale, fuzz, "
+        "downgrade, fig2a, fig2b, fig2c, fig3, longlived)"
     )
     if grid_required:
         parser.add_argument("--grid", required=True, help=grid_help)
@@ -545,6 +570,9 @@ def build_parser() -> argparse.ArgumentParser:
     cell_parser.add_argument("--scheduler", default="lowest_rtt", help="scheduler registry name")
     cell_parser.add_argument("--horizon", type=float, default=30.0,
                              help="simulated run horizon in seconds")
+    cell_parser.add_argument("--connections", type=int, default=1,
+                             help="concurrent client connections (the scale axis); "
+                             "starts are staggered over the connection_stagger param")
     cell_parser.add_argument("--params", default=None,
                              help="workload parameters as a JSON object")
 

@@ -36,6 +36,7 @@ class FaultingMiddlebox(TwoLeggedMiddlebox):
         return self.engine.label
 
     def receive(self, segment: Segment, iface: Interface) -> None:
+        """Run every transiting segment through the mutation engine."""
         for survivor in self.engine.process(segment, iface):
             self._forward(survivor, iface)
 

@@ -19,7 +19,7 @@ from repro.mptcp.options import MpCapableOption, MpJoinOption
 from repro.mptcp.path_manager import PassivePathManager, PathManager
 from repro.mptcp.scheduler import make_scheduler
 from repro.mptcp.subflow import Subflow
-from repro.mptcp.token import generate_key
+from repro.mptcp.token import derive_token, generate_key
 from repro.net.addressing import FourTuple, IPAddress
 from repro.net.host import Host
 from repro.net.interface import Interface
@@ -106,7 +106,13 @@ class MptcpStack:
 
     @property
     def connections(self) -> list[MptcpConnection]:
-        """Connections that are not yet fully closed (do not mutate)."""
+        """Connections that are not yet fully closed (do not mutate).
+
+        This is the live list: a connection closing removes itself from it
+        via :meth:`notify_connection_closed`.  Callers that close
+        connections while iterating (e.g. tearing down a many-connection
+        cell) must iterate a copy — ``list(stack.connections)``.
+        """
         return self._connections
 
     @property
@@ -166,7 +172,7 @@ class MptcpStack:
             stack=self,
             listener=listener,
             scheduler=make_scheduler(self._config.scheduler),
-            local_key=generate_key(self._rng),
+            local_key=self._generate_local_key(),
             is_client=True,
             remote_address=remote,
             remote_port=remote_port,
@@ -296,7 +302,7 @@ class MptcpStack:
             stack=self,
             listener=listener,
             scheduler=make_scheduler(self._config.scheduler),
-            local_key=generate_key(self._rng),
+            local_key=self._generate_local_key(),
             is_client=False,
             remote_address=segment.src,
             remote_port=segment.sport,
@@ -331,6 +337,25 @@ class MptcpStack:
     # ------------------------------------------------------------------
     # connection registry & path-manager notifications
     # ------------------------------------------------------------------
+    def _generate_local_key(self) -> int:
+        """Draw a local key whose 32-bit token is unused on this stack.
+
+        RFC 6824 §3.1 has the opener check for token collisions before
+        using a key; with the ``connections`` scale axis putting hundreds
+        of concurrent connections on one stack, a silent collision would
+        overwrite the token-demux entry and misroute every later MP_JOIN
+        of the shadowed connection.  A redraw is ~2^-32-rare per live
+        connection, so the common single-draw case consumes exactly the
+        RNG values it always did — committed baselines are untouched.
+        """
+        for _ in range(64):
+            key = generate_key(self._rng)
+            if derive_token(key) not in self._conn_by_token:
+                return key
+        raise RuntimeError(
+            f"stack {self._name} could not draw a collision-free MPTCP key"
+        )
+
     def _register_connection(self, conn: MptcpConnection) -> None:
         self._connections.append(conn)
         self._conn_by_token[conn.local_token] = conn

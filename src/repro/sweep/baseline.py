@@ -40,6 +40,7 @@ class BaselineCell:
     metrics: dict
 
     def as_dict(self) -> dict:
+        """The cell's entry in the snapshot JSON."""
         return {
             "key": self.key,
             "spec": self.spec,
@@ -72,6 +73,7 @@ class Baseline:
 
     @property
     def cell_count(self) -> int:
+        """Number of cells in the snapshot."""
         return len(self.cells)
 
     def cell_by_key(self) -> dict[str, BaselineCell]:

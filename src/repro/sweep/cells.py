@@ -59,6 +59,7 @@ def run_cell(spec_dict: Mapping, campaign_seed: int) -> dict:
             scheduler=spec.scheduler,
             seed=spec.cell_seed(campaign_seed),
             horizon=float(params.get("horizon", 30.0)),
+            connections=spec.connections,
             server_port=SERVER_PORT,
             params=params,
             probes=DEFAULT_PROBES,

@@ -82,7 +82,7 @@ def metric_family(name: str) -> str:
         return "events"
     if name.endswith(("_count", "_sent", "_delivered", "_completed", "_created",
                       "_used", "_initiated", "_samples", "_received", "_started",
-                      "_blocks")) or "subflow" in name:
+                      "_blocks", "_connections")) or "subflow" in name:
         return "counts"
     return "other"
 
@@ -137,9 +137,11 @@ class MetricDelta:
 
     @property
     def out_of_tolerance(self) -> bool:
+        """True when this delta alone fails the gate."""
         return self.gating and not self.within
 
     def as_dict(self) -> dict:
+        """This delta's entry in the machine-readable diff JSON."""
         return {
             "metric": self.metric,
             "family": self.family,
@@ -163,13 +165,16 @@ class CellDiff:
 
     @property
     def identical(self) -> bool:
+        """True when the two versions of the cell match exactly."""
         return not self.deltas
 
     @property
     def out_of_tolerance(self) -> list[MetricDelta]:
+        """The gate-failing deltas of this cell."""
         return [delta for delta in self.deltas if delta.out_of_tolerance]
 
     def as_dict(self) -> dict:
+        """This cell's entry in the machine-readable diff JSON."""
         return {
             "key": self.key,
             "spec": self.spec,
@@ -271,10 +276,12 @@ class CampaignDiff:
 
     @property
     def changed_cells(self) -> list[CellDiff]:
+        """Matched cells with at least one delta (gating or not)."""
         return [cell for cell in self.matched if not cell.identical]
 
     @property
     def out_of_tolerance_cells(self) -> list[CellDiff]:
+        """Matched cells that fail the tolerance gate."""
         return [cell for cell in self.matched if cell.out_of_tolerance]
 
     @property

@@ -1,12 +1,17 @@
 """Declarative campaign grids.
 
 A :class:`CampaignGrid` names the axes of a parameter sweep — experiment,
-netem scenario, packet scheduler, path-manager/controller and seed — and
-expands them into the cartesian product of :class:`CellSpec` cells.  The
-expansion order is fixed (nested loops over sorted-as-given axes), every
-cell's seed derives only from the campaign seed and the cell coordinates,
-and each cell has a stable content hash so completed cells can be cached on
-disk and reused across runs.
+netem scenario, packet scheduler, path-manager/controller, concurrent
+connection count and seed — and expands them into the cartesian product of
+:class:`CellSpec` cells.  The expansion order is fixed (nested loops over
+sorted-as-given axes), every cell's seed derives only from the campaign
+seed and the cell coordinates, and each cell has a stable content hash so
+completed cells can be cached on disk and reused across runs.
+
+The ``connections`` axis (the scale axis) defaults to a single connection
+per cell; a cell at the default is serialised, keyed, seeded and hashed
+exactly as it was before the axis existed, so committed baselines and
+cached cells from single-connection campaigns stay valid byte for byte.
 """
 
 from __future__ import annotations
@@ -38,14 +43,26 @@ class CellSpec:
     controller: str
     seed_index: int
     params: tuple[tuple[str, object], ...] = ()
+    connections: int = 1
+
+    def __post_init__(self) -> None:
+        if self.connections < 1:
+            raise ValueError(f"connections must be at least 1, got {self.connections!r}")
 
     @property
     def key(self) -> str:
-        """Human-readable stable identifier (also the aggregation sort key)."""
-        return (
+        """Human-readable stable identifier (also the aggregation sort key).
+
+        Single-connection cells keep the pre-scale-axis key shape, so the
+        keys inside committed baselines still align.
+        """
+        base = (
             f"{self.experiment}/{self.scenario}/{self.scheduler}/"
             f"{self.controller}/seed{self.seed_index}"
         )
+        if self.connections != 1:
+            return f"{base}/conn{self.connections}"
+        return base
 
     @property
     def param_dict(self) -> dict[str, object]:
@@ -56,20 +73,29 @@ class CellSpec:
         """The simulator seed for this cell.
 
         Depends only on the campaign seed and the cell coordinates — never
-        on worker count, execution order, or which other cells exist.
+        on worker count, execution order, or which other cells exist.  The
+        ``connections`` coordinate joins the derivation only when it is not
+        the default, so every pre-existing cell keeps its seed.
         """
-        return derive_seed(
-            campaign_seed,
+        components = [
             self.experiment,
             self.scenario,
             self.scheduler,
             self.controller,
             self.seed_index,
-        )
+        ]
+        if self.connections != 1:
+            components.append(f"conn{self.connections}")
+        return derive_seed(campaign_seed, *components)
 
     def as_dict(self) -> dict:
-        """Plain-dict form (pickled to workers, stored in the cache)."""
-        return {
+        """Plain-dict form (pickled to workers, stored in the cache).
+
+        ``connections`` is omitted at its default of 1 so the canonical
+        dict — and therefore :meth:`config_hash` and every committed
+        baseline built from it — is unchanged for single-connection cells.
+        """
+        data = {
             "experiment": self.experiment,
             "scenario": self.scenario,
             "scheduler": self.scheduler,
@@ -77,6 +103,9 @@ class CellSpec:
             "seed_index": self.seed_index,
             "params": {key: value for key, value in self.params},
         }
+        if self.connections != 1:
+            data["connections"] = self.connections
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "CellSpec":
@@ -88,6 +117,7 @@ class CellSpec:
             controller=data["controller"],
             seed_index=int(data["seed_index"]),
             params=_freeze_params(data.get("params")),
+            connections=int(data.get("connections", 1)),
         )
 
     def config_hash(self, campaign_seed: int) -> str:
@@ -115,6 +145,7 @@ class CampaignGrid:
     scenarios: Sequence[str] = ("dual_homed",)
     schedulers: Sequence[str] = ("lowest_rtt",)
     controllers: Sequence[str] = ("passive",)
+    connections: Sequence[int] = (1,)
     seeds: int = 1
     params: dict = field(default_factory=dict)
 
@@ -127,6 +158,13 @@ class CampaignGrid:
                 raise ValueError(f"axis {axis_name!r} must not be empty")
             if len(set(axis)) != len(tuple(axis)):
                 raise ValueError(f"axis {axis_name!r} contains duplicates: {axis!r}")
+        if not self.connections:
+            raise ValueError("axis 'connections' must not be empty")
+        for count in self.connections:
+            if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+                raise ValueError(f"connections axis values must be positive ints, got {count!r}")
+        if len(set(self.connections)) != len(tuple(self.connections)):
+            raise ValueError(f"axis 'connections' contains duplicates: {self.connections!r}")
 
     @property
     def cell_count(self) -> int:
@@ -136,6 +174,7 @@ class CampaignGrid:
             * len(tuple(self.scenarios))
             * len(tuple(self.schedulers))
             * len(tuple(self.controllers))
+            * len(tuple(self.connections))
             * self.seeds
         )
 
@@ -149,15 +188,17 @@ class CampaignGrid:
             for scenario in self.scenarios:
                 for scheduler in self.schedulers:
                     for controller in self.controllers:
-                        for seed_index in range(self.seeds):
-                            yield CellSpec(
-                                experiment=experiment,
-                                scenario=scenario,
-                                scheduler=scheduler,
-                                controller=controller,
-                                seed_index=seed_index,
-                                params=frozen,
-                            )
+                        for connections in self.connections:
+                            for seed_index in range(self.seeds):
+                                yield CellSpec(
+                                    experiment=experiment,
+                                    scenario=scenario,
+                                    scheduler=scheduler,
+                                    controller=controller,
+                                    seed_index=seed_index,
+                                    params=frozen,
+                                    connections=connections,
+                                )
 
     def validate(self) -> None:
         """Check every axis value against the runtime registries.
@@ -170,9 +211,14 @@ class CampaignGrid:
         from repro.mptcp.scheduler import SCHEDULER_REGISTRY
         from repro.sweep.cells import CONTROLLERS, EXPERIMENTS, SCENARIOS
 
+        wants_many = any(count > 1 for count in self.connections)
         for experiment in self.experiments:
             if experiment not in EXPERIMENTS:
                 raise ValueError(f"unknown experiment {experiment!r} (have {sorted(EXPERIMENTS)})")
+            if wants_many and not getattr(EXPERIMENTS[experiment], "supports_connections", True):
+                raise ValueError(
+                    f"experiment {experiment!r} does not support connections > 1"
+                )
         for scenario in self.scenarios:
             if scenario not in SCENARIOS:
                 raise ValueError(f"unknown scenario {scenario!r} (have {sorted(SCENARIOS)})")

@@ -32,6 +32,7 @@ from repro.workloads.harness import (
 from repro.workloads.probes import (
     DEFAULT_PROBES,
     PROBES,
+    AggregateProbe,
     AppLatencyProbe,
     FallbackProbe,
     FaultProbe,
@@ -73,6 +74,7 @@ __all__ = [
     "AppLatencyProbe",
     "FaultProbe",
     "FallbackProbe",
+    "AggregateProbe",
     "PROBES",
     "DEFAULT_PROBES",
     "make_probe",

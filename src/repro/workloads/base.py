@@ -64,6 +64,11 @@ class Workload(ABC):
 
     name = "abstract"
     default_params: Mapping[str, Any] = {}
+    #: Whether the harness may start more than one concurrent client
+    #: connection of this workload in a single cell (the ``connections``
+    #: sweep axis).  Workloads that keep per-run state on ``self`` or that
+    #: model a single global session should set this to ``False``.
+    supports_connections = True
 
     @abstractmethod
     def server_app(self, ctx: HarnessContext) -> ConnectionListener:
@@ -93,10 +98,32 @@ class Workload(ABC):
 
     def app_latencies(self, run: "HarnessRun") -> list[float]:
         """The workload's per-unit latency samples (blocks, requests, ...)."""
-        return []
+        samples: list[float] = []
+        for driver in run.drivers:
+            if driver is not None:
+                samples.extend(self.driver_latencies(run, driver))
+        return samples
 
     def elapsed(self, run: "HarnessRun") -> float:
         """The time base for goodput (defaults to the run horizon)."""
+        started = [driver for driver in run.drivers if driver is not None]
+        if started:
+            return max(self.driver_elapsed(run, driver) for driver in started)
+        return run.spec.horizon
+
+    # ------------------------------------------------------------------
+    # per-connection accessors (the connections axis builds on these)
+    # ------------------------------------------------------------------
+    def driver_delivered_bytes(self, run: "HarnessRun", driver: Any) -> Optional[int]:
+        """Payload bytes one client driver delivered (``None`` if unknown)."""
+        return None
+
+    def driver_latencies(self, run: "HarnessRun", driver: Any) -> list[float]:
+        """One driver's per-unit latency samples."""
+        return []
+
+    def driver_elapsed(self, run: "HarnessRun", driver: Any) -> float:
+        """One driver's goodput time base (defaults to the run horizon)."""
         return run.spec.horizon
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

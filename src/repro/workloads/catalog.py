@@ -59,20 +59,33 @@ class BulkTransferWorkload(Workload):
         return sender, conn
 
     def collect(self, run: "HarnessRun") -> dict[str, Any]:
+        # The cell-level completion time is the slowest transfer's duration;
+        # it stays None until every connection started and finished.  At
+        # connections=1 this is exactly run.driver.completion_time.
+        started = [driver for driver in run.drivers if driver is not None]
+        completions = [driver.completion_time for driver in started]
+        completion = None
+        if started and len(started) == len(run.drivers) and all(
+            value is not None for value in completions
+        ):
+            completion = max(completions)
         return {
-            "completion_time": run.driver.completion_time,
+            "completion_time": completion,
             "bytes_delivered": self.delivered_bytes(run),
         }
 
     def delivered_bytes(self, run: "HarnessRun") -> int:
         return sum(receiver.received_bytes for receiver in run.server_apps)
 
-    def app_latencies(self, run: "HarnessRun") -> list[float]:
-        completion = run.driver.completion_time
+    def driver_delivered_bytes(self, run: "HarnessRun", driver: Any) -> int:
+        return driver.acked_bytes
+
+    def driver_latencies(self, run: "HarnessRun", driver: Any) -> list[float]:
+        completion = driver.completion_time
         return [completion] if completion is not None else []
 
-    def elapsed(self, run: "HarnessRun") -> float:
-        completion = run.driver.completion_time
+    def driver_elapsed(self, run: "HarnessRun", driver: Any) -> float:
+        completion = driver.completion_time
         return completion if completion is not None else run.spec.horizon
 
 
@@ -80,6 +93,10 @@ class StreamingWorkload(Workload):
     """Fixed-rate block streaming; the §4.3 workload behind Figure 2b."""
 
     name = "streaming"
+    # The source paces blocks against a single global session clock and the
+    # sink accessors assume one stream; the scale axis starts with the
+    # workloads whose drivers are already independent.
+    supports_connections = False
     default_params = {
         "block_bytes": 32 * 1024,
         "interval": 0.5,
@@ -160,23 +177,31 @@ class HttpWorkload(Workload):
         return driver, None
 
     def collect(self, run: "HarnessRun") -> dict[str, Any]:
-        times = run.driver.completion_times()
+        started_drivers = [driver for driver in run.drivers if driver is not None]
+        times = [time for driver in started_drivers for time in driver.completion_times()]
         return {
-            "requests_started": len(run.driver.records),
-            "requests_completed": run.driver.completed_requests,
+            "requests_started": sum(len(driver.records) for driver in started_drivers),
+            "requests_completed": sum(
+                driver.completed_requests for driver in started_drivers
+            ),
             "request_time_mean": (sum(times) / len(times)) if times else None,
             "request_time_max": max(times) if times else None,
             "bytes_delivered": self.delivered_bytes(run),
         }
 
     def delivered_bytes(self, run: "HarnessRun") -> int:
-        return run.driver.total_received_bytes
+        return sum(
+            driver.total_received_bytes for driver in run.drivers if driver is not None
+        )
 
-    def app_latencies(self, run: "HarnessRun") -> list[float]:
-        return run.driver.completion_times()
+    def driver_delivered_bytes(self, run: "HarnessRun", driver: Any) -> int:
+        return driver.total_received_bytes
 
-    def elapsed(self, run: "HarnessRun") -> float:
-        last = run.driver.last_completion_at
+    def driver_latencies(self, run: "HarnessRun", driver: Any) -> list[float]:
+        return driver.completion_times()
+
+    def driver_elapsed(self, run: "HarnessRun", driver: Any) -> float:
+        last = driver.last_completion_at
         return last if last is not None else run.spec.horizon
 
 
@@ -206,9 +231,12 @@ class LongLivedWorkload(Workload):
 
     def collect(self, run: "HarnessRun") -> dict[str, Any]:
         delays = self.app_latencies(run)
+        started_drivers = [driver for driver in run.drivers if driver is not None]
         return {
-            "messages_sent": len(run.driver.messages),
-            "messages_delivered": run.driver.delivered_messages,
+            "messages_sent": sum(len(driver.messages) for driver in started_drivers),
+            "messages_delivered": sum(
+                driver.delivered_messages for driver in started_drivers
+            ),
             "delivery_time_mean": (sum(delays) / len(delays)) if delays else None,
             "delivery_time_max": max(delays) if delays else None,
         }
@@ -216,8 +244,11 @@ class LongLivedWorkload(Workload):
     def delivered_bytes(self, run: "HarnessRun") -> int:
         return sum(peer.received_bytes for peer in run.server_apps)
 
-    def app_latencies(self, run: "HarnessRun") -> list[float]:
-        return run.driver.delivery_times()
+    def driver_delivered_bytes(self, run: "HarnessRun", driver: Any) -> int:
+        return driver.delivered_messages * int(run.params["message_bytes"])
+
+    def driver_latencies(self, run: "HarnessRun", driver: Any) -> list[float]:
+        return driver.delivery_times()
 
 
 BULK = register_workload(BulkTransferWorkload())

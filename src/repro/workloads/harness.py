@@ -25,6 +25,7 @@ from repro.mptcp.config import MptcpConfig
 from repro.mptcp.connection import MptcpConnection
 from repro.mptcp.stack import MptcpStack
 from repro.sim.engine import Simulator
+from repro.sim.randomness import derive_seed
 from repro.workloads.base import (
     ClientSetup,
     HarnessContext,
@@ -52,6 +53,16 @@ class HarnessSpec:
     scheduler: str = "lowest_rtt"
     seed: int = 1
     horizon: float = 30.0
+    connections: int = 1
+    """Concurrent client connections of the workload (the scale axis).
+
+    At the default of 1 the assembly is exactly the historical one — the
+    single client connection starts synchronously during composition — so
+    single-connection runs stay byte-identical to pre-axis builds.  For
+    ``connections > 1`` every connection start is scheduled as a simulator
+    event at a per-connection offset derived purely from the spec seed
+    (see :func:`~repro.sim.randomness.derive_seed`), spread over the
+    ``connection_stagger`` param (seconds, default 1.0)."""
     server_port: int = DEFAULT_SERVER_PORT
     params: Mapping[str, Any] = field(default_factory=dict)
     probes: Sequence[Union[str, Probe]] = DEFAULT_PROBES
@@ -96,6 +107,15 @@ class HarnessRun:
     metrics: dict[str, Any] = field(default_factory=dict)
     probe_timings: dict[str, float] = field(default_factory=dict)
     """Wall-clock seconds each probe spent in attach + collect."""
+    drivers: list = field(default_factory=list)
+    """Per-connection client drivers, in connection index order.  Length
+    ``spec.connections``; a slot is ``None`` until that connection's
+    staggered start fired.  For single-connection runs this is
+    ``[driver]``."""
+    connections: list = field(default_factory=list)
+    """Per-connection primary :class:`MptcpConnection` objects (``None``
+    for not-yet-started slots and for connection-per-request workloads),
+    aligned with :attr:`drivers`."""
 
     def probe(self, name: str) -> Probe:
         """Look up one of the run's probes by registry name."""
@@ -191,7 +211,27 @@ class Harness:
         server_stack.listen(spec.server_port, server_factory)
 
         client = resolve_client_setup(self._resolve_controller(spec.controller)(ctx))
-        driver, connection = workload.start(ctx, client.stack)
+
+        n_connections = int(spec.connections)
+        if n_connections < 1:
+            raise ValueError(f"connections must be at least 1, got {spec.connections!r}")
+        if n_connections > 1 and not workload.supports_connections:
+            raise ValueError(
+                f"workload {workload.name!r} does not support connections > 1"
+            )
+
+        if n_connections == 1:
+            # The historical path: the single client connection starts
+            # synchronously during composition.  Byte-identity of every
+            # committed baseline rides on this branch staying untouched.
+            driver, connection = workload.start(ctx, client.stack)
+            drivers = [driver]
+            conn_list: list = [connection]
+        else:
+            driver = None
+            connection = None
+            drivers = [None] * n_connections
+            conn_list = [None] * n_connections
 
         run = HarnessRun(
             spec=spec,
@@ -206,7 +246,33 @@ class Harness:
             server_apps=server_apps,
             probes=probes,
             probe_timings=probe_timings,
+            drivers=drivers,
+            connections=conn_list,
         )
+
+        if n_connections > 1:
+            # Stagger the N connection starts over `connection_stagger`
+            # seconds.  Each offset derives purely from the spec seed and
+            # the connection index, so the start schedule is a function of
+            # the cell coordinates — independent of workers, cache state
+            # and dict order — and two cells differing only in seed get
+            # different arrival patterns.
+            stagger = float(params.get("connection_stagger", 1.0))
+
+            def start_connection(index: int) -> None:
+                one_driver, one_connection = workload.start(ctx, client.stack)
+                run.drivers[index] = one_driver
+                run.connections[index] = one_connection
+                if index == 0:
+                    run.driver = one_driver
+                    run.connection = one_connection
+
+            for index in range(n_connections):
+                offset = (
+                    derive_seed(spec.seed, "connection", index) % 10**9
+                ) / 10**9 * stagger
+                sim.schedule(offset, start_connection, index)
+
         for hook in spec.hooks:
             hook(run)
 

@@ -241,6 +241,57 @@ class FallbackProbe(Probe):
         }
 
 
+class AggregateProbe(Probe):
+    """Per-connection metrics folded into bounded summary statistics.
+
+    Collects nothing (an empty dict) for single-connection runs, so adding
+    it to the default probe set does not disturb the metrics — or the
+    committed baselines — of pre-scale-axis cells.  For many-connection
+    cells (``spec.connections > 1``) it folds three per-connection series
+    through :func:`repro.analysis.aggregate.fold_series` — goodput in Mbps
+    (``agg_goodput_mbps_*``), the flattened per-unit latency samples
+    (``agg_latency_*``) and the subflow count of each primary connection
+    (``agg_subflows_*``) — each into ``sum/mean/p50/p95/min/max``, plus the
+    ``agg_connections`` / ``agg_connections_started`` counters.  Output
+    size is constant in the connection count, which is what keeps reports
+    and baselines bounded as the scale axis grows.
+    """
+
+    name = "aggregate"
+
+    def collect(self, run: "HarnessRun") -> dict[str, Any]:
+        from repro.analysis.aggregate import fold_series
+
+        if int(getattr(run.spec, "connections", 1)) <= 1:
+            return {}
+        workload = run.workload
+        started = [driver for driver in run.drivers if driver is not None]
+        metrics: dict[str, Any] = {
+            "agg_connections": len(run.drivers),
+            "agg_connections_started": len(started),
+        }
+
+        goodputs = []
+        for driver in started:
+            delivered = workload.driver_delivered_bytes(run, driver)
+            if delivered is None:
+                continue
+            elapsed = workload.driver_elapsed(run, driver)
+            goodputs.append((delivered * 8 / elapsed / 1e6) if elapsed > 0 else 0.0)
+        metrics.update(fold_series(goodputs, "agg_goodput_mbps"))
+
+        latencies = [
+            sample for driver in started for sample in workload.driver_latencies(run, driver)
+        ]
+        metrics.update(fold_series(latencies, "agg_latency"))
+
+        subflow_counts = [
+            len(conn.subflows) for conn in run.connections if conn is not None
+        ]
+        metrics.update(fold_series(subflow_counts, "agg_subflows"))
+        return metrics
+
+
 #: Probe factories by registry name (the sweep cell runner's default set).
 PROBES: dict[str, Callable[[], Probe]] = {
     "trace": TraceProbe,
@@ -249,11 +300,12 @@ PROBES: dict[str, Callable[[], Probe]] = {
     "app_latency": AppLatencyProbe,
     "faults": FaultProbe,
     "fallback": FallbackProbe,
+    "aggregate": AggregateProbe,
 }
 
 #: The probes every sweep cell runs, in collection order.
 DEFAULT_PROBES: tuple[str, ...] = (
-    "trace", "goodput", "subflows", "app_latency", "faults", "fallback"
+    "trace", "goodput", "subflows", "app_latency", "faults", "fallback", "aggregate"
 )
 
 

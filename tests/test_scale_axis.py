@@ -1,0 +1,200 @@
+"""The ``connections`` scale axis: grid back-compat, harness fan-out,
+and the AggregateProbe's bounded summary statistics.
+
+The axis ships with a hard compatibility promise: a cell at the default of
+one connection is serialised, keyed, seeded and hashed exactly as it was
+before the axis existed.  The first test class pins that promise; the rest
+cover the many-connection fan-out itself.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.aggregate import AGGREGATE_STATS, fold_series, group_cells
+from repro.sweep.grid import CampaignGrid, CellSpec
+from repro.workloads import AggregateProbe, Harness, HarnessSpec
+
+SMALL_PARAMS = {"transfer_bytes": 6_000, "connection_stagger": 1.0}
+
+
+def run_bulk(connections: int, seed: int = 7, **overrides) -> "HarnessSpec":
+    spec = HarnessSpec(
+        workload="bulk_transfer",
+        scenario="dual_homed",
+        controller="passive",
+        scheduler="lowest_rtt",
+        seed=seed,
+        horizon=10.0,
+        connections=connections,
+        trace_probe=False,
+        params=dict(SMALL_PARAMS, **overrides),
+    )
+    return Harness().run(spec)
+
+
+class TestGridBackCompat:
+    """connections=1 cells must be indistinguishable from pre-axis cells."""
+
+    def test_default_cell_key_has_no_connections_segment(self):
+        spec = CellSpec("bulk_transfer", "dual_homed", "lowest_rtt", "passive", 0)
+        assert spec.key == "bulk_transfer/dual_homed/lowest_rtt/passive/seed0"
+        many = CellSpec(
+            "bulk_transfer", "dual_homed", "lowest_rtt", "passive", 0, connections=100
+        )
+        assert many.key == "bulk_transfer/dual_homed/lowest_rtt/passive/seed0/conn100"
+
+    def test_default_cell_dict_omits_connections(self):
+        spec = CellSpec("bulk_transfer", "dual_homed", "lowest_rtt", "passive", 0)
+        assert "connections" not in spec.as_dict()
+        many = CellSpec(
+            "bulk_transfer", "dual_homed", "lowest_rtt", "passive", 0, connections=10
+        )
+        assert many.as_dict()["connections"] == 10
+        assert CellSpec.from_dict(many.as_dict()) == many
+        assert CellSpec.from_dict(spec.as_dict()) == spec
+
+    def test_default_cell_seed_and_hash_are_unchanged(self):
+        base = CellSpec("bulk_transfer", "dual_homed", "lowest_rtt", "passive", 0)
+        explicit = CellSpec(
+            "bulk_transfer", "dual_homed", "lowest_rtt", "passive", 0, connections=1
+        )
+        assert base.cell_seed(1) == explicit.cell_seed(1)
+        assert base.config_hash(1) == explicit.config_hash(1)
+        many = CellSpec(
+            "bulk_transfer", "dual_homed", "lowest_rtt", "passive", 0, connections=10
+        )
+        assert many.cell_seed(1) != base.cell_seed(1)
+        assert many.config_hash(1) != base.config_hash(1)
+
+    def test_committed_baselines_still_hash_clean(self):
+        for path in ("baselines/quick.json", "baselines/workloads.json"):
+            baseline = json.load(open(path))
+            for cell in baseline["cells"]:
+                spec = CellSpec.from_dict(cell["spec"])
+                assert spec.connections == 1
+                assert spec.config_hash(baseline["campaign_seed"]) == cell["config_hash"], (
+                    path, spec.key,
+                )
+
+    def test_connections_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CellSpec("bulk_transfer", "dual_homed", "lowest_rtt", "passive", 0,
+                     connections=0)
+
+    def test_grid_expands_the_connections_axis_in_order(self):
+        grid = CampaignGrid(
+            name="g", experiments=["bulk_transfer"], scenarios=["dual_homed"],
+            schedulers=["lowest_rtt"], controllers=["passive"],
+            connections=[1, 10], seeds=2,
+        )
+        assert grid.cell_count == 4
+        cells = grid.expand()
+        assert [(cell.connections, cell.seed_index) for cell in cells] == [
+            (1, 0), (1, 1), (10, 0), (10, 1),
+        ]
+
+    def test_grid_rejects_bad_connections_axes(self):
+        kwargs = dict(
+            experiments=["bulk_transfer"], scenarios=["dual_homed"],
+            schedulers=["lowest_rtt"], controllers=["passive"],
+        )
+        with pytest.raises(ValueError):
+            CampaignGrid(connections=[], **kwargs)
+        with pytest.raises(ValueError):
+            CampaignGrid(connections=[0], **kwargs)
+        with pytest.raises(ValueError):
+            CampaignGrid(connections=[10, 10], **kwargs)
+
+    def test_validate_rejects_unsupported_workloads_at_scale(self):
+        grid = CampaignGrid(
+            experiments=["streaming"], scenarios=["dual_homed"],
+            schedulers=["lowest_rtt"], controllers=["passive"],
+            connections=[1, 10],
+        )
+        with pytest.raises(ValueError, match="does not support connections"):
+            grid.validate()
+        grid.connections = (1,)
+        grid.validate()  # single-connection streaming stays sweepable
+
+    def test_grouping_by_connections_tolerates_legacy_specs(self):
+        legacy = {"spec": {"experiment": "bulk_transfer", "scenario": "dual_homed",
+                           "scheduler": "lowest_rtt", "controller": "passive",
+                           "seed_index": 0}, "result": {}}
+        scaled = {"spec": {**legacy["spec"], "connections": 100}, "result": {}}
+        groups = group_cells([legacy, scaled], by=("connections",))
+        assert set(groups) == {("1",), ("100",)}
+
+
+class TestHarnessFanOut:
+    def test_single_connection_run_keeps_the_legacy_shape(self):
+        run = run_bulk(1)
+        assert run.drivers == [run.driver]
+        assert run.connections == [run.connection]
+        assert run.metrics["bytes_delivered"] == 6_000
+        assert not any(name.startswith("agg_") for name in run.metrics)
+
+    def test_many_connections_all_start_and_deliver(self):
+        run = run_bulk(20)
+        assert len(run.drivers) == 20 and all(run.drivers)
+        assert len(run.server_apps) == 20
+        assert run.driver is run.drivers[0]
+        assert run.connection is run.connections[0]
+        assert run.metrics["connections_initiated"] == 20
+        assert run.metrics["bytes_delivered"] == 20 * 6_000
+        # completion_time is the slowest transfer, so it bounds every one.
+        slowest = run.metrics["completion_time"]
+        assert all(d.completion_time <= slowest for d in run.drivers)
+
+    def test_start_offsets_are_seed_derived(self):
+        a = run_bulk(5, seed=7)
+        b = run_bulk(5, seed=7)
+        c = run_bulk(5, seed=8)
+        starts = lambda run: [driver.started_at for driver in run.drivers]
+        assert starts(a) == starts(b)
+        assert starts(a) != starts(c)
+        # Staggered: not all connections come up at the same instant.
+        assert len(set(starts(a))) > 1
+
+    def test_unsupported_workload_is_rejected(self):
+        with pytest.raises(ValueError, match="does not support connections"):
+            Harness().run(HarnessSpec(workload="streaming", connections=2))
+
+    def test_zero_connections_is_rejected(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            Harness().run(HarnessSpec(connections=0))
+
+
+class TestAggregateProbe:
+    def test_silent_on_single_connection_runs(self):
+        assert AggregateProbe().collect(run_bulk(1)) == {}
+
+    def test_key_order_is_pinned(self):
+        """The summary-statistic ordering is a compatibility surface: the
+        canonical campaign JSON sorts keys, but reports and baselines pin
+        the exact set, so the emitted names are asserted one by one."""
+        metrics = AggregateProbe().collect(run_bulk(4))
+        expected = ["agg_connections", "agg_connections_started"]
+        for prefix in ("agg_goodput_mbps", "agg_latency", "agg_subflows"):
+            expected.extend(f"{prefix}_{stat}" for stat in AGGREGATE_STATS)
+        assert list(metrics) == expected
+        assert AGGREGATE_STATS == ("sum", "mean", "p50", "p95", "min", "max")
+
+    def test_statistics_are_internally_consistent(self):
+        metrics = AggregateProbe().collect(run_bulk(8))
+        assert metrics["agg_connections"] == 8
+        assert metrics["agg_connections_started"] == 8
+        for prefix in ("agg_goodput_mbps", "agg_latency", "agg_subflows"):
+            lo, hi = metrics[f"{prefix}_min"], metrics[f"{prefix}_max"]
+            assert lo <= metrics[f"{prefix}_p50"] <= metrics[f"{prefix}_p95"] <= hi
+            assert lo <= metrics[f"{prefix}_mean"] <= hi
+        # Every connection opens exactly one subflow under the passive PM.
+        assert metrics["agg_subflows_sum"] == 8.0
+
+    def test_fold_series_handles_empty_and_singleton(self):
+        empty = fold_series([], "x")
+        assert list(empty) == [f"x_{stat}" for stat in AGGREGATE_STATS]
+        assert all(value is None for value in empty.values())
+        single = fold_series([3.5], "x")
+        assert single == {"x_sum": 3.5, "x_mean": 3.5, "x_p50": 3.5,
+                          "x_p95": 3.5, "x_min": 3.5, "x_max": 3.5}

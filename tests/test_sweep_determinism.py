@@ -80,6 +80,26 @@ def downgrade_acceptance_grid() -> CampaignGrid:
     )
 
 
+def scale_acceptance_grid() -> CampaignGrid:
+    """The connections scale axis: single- and 100-connection cells."""
+    return CampaignGrid(
+        name="acceptance-scale",
+        campaign_seed=42,
+        experiments=["bulk_transfer"],
+        scenarios=["dual_homed"],
+        schedulers=["lowest_rtt"],
+        controllers=["passive"],
+        connections=[1, 100],
+        seeds=2,
+        params={
+            "transfer_bytes": 4_000,
+            "horizon": 10.0,
+            "trace_probe": False,
+            "connection_stagger": 2.0,
+        },
+    )
+
+
 class TestCampaignWorkerIndependence:
     def test_serial_two_and_four_workers_are_byte_identical(self):
         grid = acceptance_grid()
@@ -153,6 +173,31 @@ class TestCampaignWorkerIndependence:
         triage = triage_campaign(serial)
         verdicts = {row["key"]: row["verdict"] for row in triage["rows"]}
         assert verdicts and all(verdict == "fallback" for verdict in verdicts.values()), verdicts
+
+    def test_scale_cells_are_worker_count_independent(self):
+        """The scale-axis acceptance criterion: 100-connection cells are
+        byte-identical at 1 and 4 workers, carry the bounded ``agg_*``
+        summary metrics, and the single-connection cells riding in the
+        same campaign stay entirely free of them."""
+        grid = scale_acceptance_grid()
+        assert grid.cell_count == 4
+        serial = run_campaign(grid, workers=1)
+        four = run_campaign(grid, workers=4)
+        assert serial.to_canonical_json() == four.to_canonical_json()
+
+        for cell in serial.cells:
+            metrics = cell.result
+            if cell.spec.connections == 1:
+                assert not any(name.startswith("agg_") for name in metrics), cell.spec.key
+                assert "/conn" not in cell.spec.key
+                continue
+            assert cell.spec.key.endswith("/conn100")
+            assert metrics["agg_connections"] == 100, cell.spec.key
+            assert metrics["agg_connections_started"] == 100, cell.spec.key
+            assert metrics["agg_goodput_mbps_sum"] > 0, cell.spec.key
+            assert metrics["connections_initiated"] == 100, cell.spec.key
+            # All 100 tiny transfers complete within the horizon.
+            assert metrics["bytes_delivered"] == 100 * 4_000, cell.spec.key
 
     def test_cached_rerun_is_byte_identical_and_all_hits(self, tmp_path):
         grid = acceptance_grid()

@@ -230,7 +230,8 @@ class TestProbeOverheadAndTraceOptOut:
         run = run_workload(small_spec("bulk_transfer", measure_probe_overhead=True))
         overhead = run.metrics["probe_overhead_s"]
         assert set(overhead) == {
-            "trace", "goodput", "subflows", "app_latency", "faults", "fallback"
+            "trace", "goodput", "subflows", "app_latency", "faults", "fallback",
+            "aggregate",
         }
         assert all(value >= 0.0 for value in overhead.values())
 
