@@ -64,10 +64,98 @@ def _run_longlived(args: argparse.Namespace) -> str:
     return result.format_report()
 
 
+def _sweep_progress_printer(total: int) -> Callable:
+    """A live ``cells done/total + ETA`` line for ``sweep --progress``.
+
+    Writes to stderr (and only there), so piping stdout — reports, JSON,
+    canonical output — stays byte-identical with the flag on.  The ETA
+    extrapolates the observed per-cell pace over the remaining cells.
+    """
+    state = {"done": 0, "cached": 0, "started": time.monotonic()}
+
+    def on_cell(spec, result, cached, telemetry) -> None:
+        state["done"] += 1
+        if cached:
+            state["cached"] += 1
+        elapsed = time.monotonic() - state["started"]
+        remaining = total - state["done"]
+        eta = (elapsed / state["done"]) * remaining
+        print(
+            f"\r[sweep] {state['done']}/{total} cells "
+            f"({state['cached']} cached) elapsed {elapsed:.1f}s eta {eta:.1f}s",
+            end="", file=sys.stderr, flush=True,
+        )
+
+    return on_cell
+
+
 def _run_sweep(args: argparse.Namespace) -> str:
     grid = named_grid(args.grid, campaign_seed=args.seed)
-    result = run_campaign(grid, workers=args.workers, cache_dir=args.cache_dir)
+    progress = _sweep_progress_printer(grid.cell_count) if args.progress else None
+    result = run_campaign(
+        grid, workers=args.workers, cache_dir=args.cache_dir, progress=progress
+    )
+    if progress is not None:
+        print(file=sys.stderr, flush=True)
     return format_campaign_report(result)
+
+
+def _run_trace(args: argparse.Namespace) -> str:
+    """Run one traced harness cell and export its structured event log."""
+    from repro.obs import chrome_trace, events_jsonl
+    from repro.workloads import Harness, HarnessSpec
+
+    params = json.loads(args.params) if args.params else {}
+    params["event_log"] = True
+    if args.categories:
+        params["event_log_categories"] = args.categories
+    if args.limit is not None:
+        params["event_log_limit"] = args.limit
+    run = Harness().run(
+        HarnessSpec(
+            workload=args.workload,
+            scenario=args.scenario,
+            controller=args.controller,
+            scheduler=args.scheduler,
+            seed=args.seed,
+            horizon=args.horizon,
+            connections=args.connections,
+            params=params,
+        )
+    )
+    log = run.probe("events").log
+    payload = events_jsonl(log) if args.format == "jsonl" else chrome_trace(log)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8", newline="") as handle:
+            handle.write(payload)
+        key = f"{args.workload}/{args.scenario}/{args.scheduler}/{args.controller}/seed{args.seed}"
+        counts = ", ".join(
+            f"{category}={count}"
+            for category, count in log.counts_by_category().items()
+        )
+        return (
+            f"trace {key}: {len(log)} events ({counts}), {log.dropped} dropped\n"
+            f"wrote {args.format} timeline to {args.out}"
+        )
+    return payload.rstrip("\n")
+
+
+def _run_telemetry(args: argparse.Namespace) -> str:
+    """Run (or cache-replay) a grid and print its campaign telemetry."""
+    from repro.obs import format_telemetry_report, summarize_telemetry
+
+    grid = named_grid(args.grid, campaign_seed=args.seed)
+    result = run_campaign(grid, workers=args.workers, cache_dir=args.cache_dir)
+    summary = summarize_telemetry(
+        [cell.telemetry for cell in result.cells], top=args.top
+    )
+    report = format_telemetry_report(summary)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        report += f"\nwrote telemetry JSON to {args.json}"
+    return report
 
 
 def _run_baseline(args: argparse.Namespace) -> str:
@@ -384,12 +472,16 @@ EXPERIMENTS: dict[str, Callable[[argparse.Namespace], HandlerResult]] = {
     "diff": _run_diff,
     "fuzz": _run_fuzz,
     "bench": _run_bench,
+    "trace": _run_trace,
+    "telemetry": _run_telemetry,
 }
 
 #: Subcommands ``all`` does not run: campaigns, single cells, the registry
-#: listing, the regression-gate pair, the fuzzer and the benchmark are
-#: opt-in via their own names.
-OPT_IN = frozenset({"sweep", "cell", "list", "baseline", "diff", "fuzz", "bench"})
+#: listing, the regression-gate pair, the fuzzer, the benchmark and the
+#: observability pair are opt-in via their own names.
+OPT_IN = frozenset(
+    {"sweep", "cell", "list", "baseline", "diff", "fuzz", "bench", "trace", "telemetry"}
+)
 
 
 def _add_figure_options(parser: argparse.ArgumentParser, figures: Sequence[str]) -> None:
@@ -481,6 +573,11 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", parents=[seed_parent], help="run a named campaign grid"
     )
     _add_campaign_options(sweep_parser)
+    sweep_parser.add_argument(
+        "--progress", action="store_true",
+        help="print a live cells-done/total + ETA line to stderr "
+        "(never part of the gated stdout output)",
+    )
 
     baseline_parser = subparsers.add_parser(
         "baseline",
@@ -575,6 +672,45 @@ def build_parser() -> argparse.ArgumentParser:
                              "starts are staggered over the connection_stagger param")
     cell_parser.add_argument("--params", default=None,
                              help="workload parameters as a JSON object")
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        parents=[seed_parent],
+        help="run one traced harness cell and export its structured event log",
+    )
+    trace_parser.add_argument("--workload", default="bulk_transfer", help="workload registry name")
+    trace_parser.add_argument("--scenario", default="dual_homed", help="scenario registry name")
+    trace_parser.add_argument("--controller", default="passive", help="controller registry name")
+    trace_parser.add_argument("--scheduler", default="lowest_rtt", help="scheduler registry name")
+    trace_parser.add_argument("--horizon", type=float, default=30.0,
+                              help="simulated run horizon in seconds")
+    trace_parser.add_argument("--connections", type=int, default=1,
+                              help="concurrent client connections (the scale axis)")
+    trace_parser.add_argument("--params", default=None,
+                              help="workload parameters as a JSON object")
+    trace_parser.add_argument("--categories", default=None,
+                              help="comma-separated event categories to record "
+                              "(default: all — connection, fallback, fault, pm, "
+                              "scheduler, subflow, timer)")
+    trace_parser.add_argument("--limit", type=int, default=None,
+                              help="event-log retention cap (drops are counted beyond it)")
+    trace_parser.add_argument("--format", default="chrome",
+                              choices=("chrome", "jsonl"),
+                              help="chrome: Chrome-trace-format timeline; "
+                              "jsonl: one JSON object per event")
+    trace_parser.add_argument("--out", default=None,
+                              help="write the export here instead of stdout")
+
+    telemetry_parser = subparsers.add_parser(
+        "telemetry",
+        parents=[seed_parent],
+        help="run a grid and print its campaign telemetry summary",
+    )
+    _add_campaign_options(telemetry_parser)
+    telemetry_parser.add_argument("--top", type=int, default=5,
+                                  help="number of slowest fresh cells to list")
+    telemetry_parser.add_argument("--json", default=None,
+                                  help="also write the telemetry summary JSON here")
 
     bench_parser = subparsers.add_parser(
         "bench",

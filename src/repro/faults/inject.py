@@ -91,6 +91,14 @@ class FaultInjector:
 
     def _fire(self, event) -> None:
         self.events_fired += 1
+        # Lazy lookup, not a cached channel: the injector is built during
+        # scenario construction, before the events probe attaches a log.
+        log = self._sim.event_log
+        if log is not None and log.enabled("fault"):
+            log.emit(
+                self._sim.now, "fault", event.mutation, event.target,
+                dict(event.params) or None,
+            )
         model = FAULT_MODELS[event.mutation]
         if model.kind == "link":
             self._flap(event)
@@ -123,6 +131,9 @@ class FaultInjector:
         if state[1] == 0:
             self._links[target].set_loss_rate(state[0])
             del self._flap_state[target]
+            log = self._sim.event_log
+            if log is not None and log.enabled("fault"):
+                log.emit(self._sim.now, "fault", "link_restored", target)
 
     def stats(self) -> dict[str, int]:
         """Deterministic aggregate counters across every targeted choke point."""

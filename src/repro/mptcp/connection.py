@@ -204,6 +204,27 @@ class MptcpConnection(SubflowObserver):
         self._fallback_rx_seen: Optional[int] = None
         self._mp_fail_sent = False
 
+        # Structured tracing (repro.obs): per-category channels cached
+        # once so every hot-path emit site is a single None check.
+        log = self._sim.event_log
+        if log is None:
+            self._trace_conn = None
+            self._trace_subflow = None
+            self._trace_sched = None
+            self._trace_fallback = None
+            self._trace_id = ""
+        else:
+            self._trace_conn = log.channel("connection")
+            self._trace_subflow = log.channel("subflow")
+            self._trace_sched = log.channel("scheduler")
+            self._trace_fallback = log.channel("fallback")
+            self._trace_id = f"{stack.name}/conn-{self.local_token:08x}"
+            if self._trace_conn is not None:
+                self._trace_conn.emit(
+                    self._sim.now, "connection", "created", self._trace_id,
+                    {"role": "client" if is_client else "server"},
+                )
+
     # ------------------------------------------------------------------
     # identity / introspection
     # ------------------------------------------------------------------
@@ -316,6 +337,11 @@ class MptcpConnection(SubflowObserver):
             if floor > self._data_una:
                 self._process_data_ack(floor)
         self._meta_rtx_timer.stop()
+        if self._trace_fallback is not None:
+            self._trace_fallback.emit(
+                self._sim.now, "fallback", "fallback", self._trace_id,
+                {"reason": reason},
+            )
         self._stack.notify_connection_fallback(self)
 
     def subflow_by_id(self, subflow_id: int) -> Optional[Subflow]:
@@ -503,6 +529,11 @@ class MptcpConnection(SubflowObserver):
         self._subflows.append(flow)
         self._subflow_history.append(flow)
         self._subflow_by_socket[id(socket)] = flow
+        if self._trace_subflow is not None:
+            self._trace_subflow.emit(
+                self._sim.now, "subflow", "created", self._trace_id,
+                {"subflow": flow.id, "origin": origin.value, "backup": backup},
+            )
         return flow
 
     def _compact_subflow(self, flow: Subflow) -> None:
@@ -785,9 +816,19 @@ class MptcpConnection(SubflowObserver):
         if flow.is_initial and not self.established:
             self.established = True
             self.established_at = self._sim.now
+            if self._trace_conn is not None:
+                self._trace_conn.emit(
+                    self._sim.now, "connection", "established", self._trace_id,
+                    {"fallback": self.is_fallback},
+                )
             self._announce_local_addresses(flow)
             self._stack.notify_connection_established(self)
             self._listener.on_connection_established(self)
+        if self._trace_subflow is not None:
+            self._trace_subflow.emit(
+                self._sim.now, "subflow", "established", self._trace_id,
+                {"subflow": flow.id},
+            )
         self._stack.notify_subflow_established(self, flow)
         self._push_data()
 
@@ -831,6 +872,11 @@ class MptcpConnection(SubflowObserver):
         self._compact_subflow(flow)
         self._stack.unregister_socket(sock)
         if not already_closed:
+            if self._trace_subflow is not None:
+                self._trace_subflow.emit(
+                    self._sim.now, "subflow", "closed", self._trace_id,
+                    {"subflow": flow.id, "reason": reason},
+                )
             self._stack.notify_subflow_closed(self, flow, reason)
         if self._config.reinject_on_close and not self.closed:
             self._reinject_outstanding(flow)
@@ -871,6 +917,11 @@ class MptcpConnection(SubflowObserver):
             mapping = DssMapping(start, send_len)
             if not flow.socket.send_data(send_len, mapping):
                 break
+            if self._trace_sched is not None:
+                self._trace_sched.emit(
+                    self._sim.now, "scheduler", "select", self._trace_id,
+                    {"subflow": flow.id, "data_seq": start, "length": send_len},
+                )
             flow.bytes_scheduled += send_len
             if self.is_fallback:
                 flow.fallback_bytes += send_len
@@ -920,6 +971,11 @@ class MptcpConnection(SubflowObserver):
             return
         self.meta_rto_expirations += 1
         self._meta_backoff += 1
+        if self._trace_sched is not None:
+            self._trace_sched.emit(
+                self._sim.now, "scheduler", "meta_rto", self._trace_id,
+                {"data_una": self._data_una, "backoff": self._meta_backoff},
+            )
         start = self._data_una
         end = min(self._data_write_nxt, start + self._mss)
         if not self._range_pending(start, end):
@@ -944,6 +1000,12 @@ class MptcpConnection(SubflowObserver):
                 continue
             self._unassigned.appendleft((start, mapping.end))
             flow.reinjected_bytes += mapping.end - start
+            if self._trace_sched is not None:
+                self._trace_sched.emit(
+                    self._sim.now, "scheduler", "reinject", self._trace_id,
+                    {"subflow": flow.id, "data_seq": start,
+                     "length": mapping.end - start},
+                )
 
     def _range_pending(self, start: int, end: int) -> bool:
         for queued_start, queued_end in self._unassigned:
@@ -1042,6 +1104,11 @@ class MptcpConnection(SubflowObserver):
         self.closed_at = self._sim.now
         self._data_fin_timer.stop()
         self._meta_rtx_timer.stop()
+        if self._trace_conn is not None:
+            self._trace_conn.emit(
+                self._sim.now, "connection", "closed", self._trace_id,
+                {"fallback": self.is_fallback, "aborted": self._aborted},
+            )
         self._stack.notify_connection_closed(self)
         self._listener.on_connection_closed(self)
 

@@ -75,6 +75,16 @@ class MptcpStack:
         # Every connection that ever downgraded to plain TCP, kept past
         # close so probes can account fallback bytes after the run.
         self._fallback_connections: list[MptcpConnection] = []
+        # Socket-level totals of fully closed connections, folded in at
+        # close time so counters() stays proportional to live state.
+        self._retired_retransmissions = 0
+        self._retired_segments_sent = 0
+        self._retired_segments_received = 0
+
+        # Structured tracing (repro.obs) channels, cached once.
+        log = sim.event_log
+        self._trace_pm = log.channel("pm") if log is not None else None
+        self._trace_conn = log.channel("connection") if log is not None else None
 
     # ------------------------------------------------------------------
     # accessors
@@ -332,6 +342,11 @@ class MptcpStack:
             flags=flags,
         )
         self.resets_sent += 1
+        if self._trace_conn is not None:
+            self._trace_conn.emit(
+                self._sim.now, "connection", "reset_sent", self._name,
+                {"to": f"{segment.src}:{segment.sport}"},
+            )
         self._host.send(reset)
 
     # ------------------------------------------------------------------
@@ -390,6 +405,13 @@ class MptcpStack:
             self._connections.remove(conn)
         self._conn_by_token.pop(conn.local_token, None)
         self._cc_groups.pop(conn.local_token, None)
+        # Fold the departing connection's socket totals into the retired
+        # accumulators so counters() keeps counting closed connections.
+        for flow in conn.subflows:
+            sock = flow.socket
+            self._retired_retransmissions += sock.total_retransmissions
+            self._retired_segments_sent += sock.segments_sent
+            self._retired_segments_received += sock.segments_received
         self._path_manager.on_connection_closed(conn)
 
     def notify_subflow_established(self, conn: MptcpConnection, flow: Subflow) -> None:
@@ -414,12 +436,22 @@ class MptcpStack:
         """Called when the peer advertises an address."""
         if conn.is_fallback:
             return
+        if self._trace_pm is not None:
+            self._trace_pm.emit(
+                self._sim.now, "pm", "add_addr", self._name,
+                {"address_id": address_id, "address": str(address), "port": port},
+            )
         self._path_manager.on_add_addr(conn, address_id, address, port)
 
     def notify_rem_addr(self, conn: MptcpConnection, address_id: int) -> None:
         """Called when the peer withdraws an address."""
         if conn.is_fallback:
             return
+        if self._trace_pm is not None:
+            self._trace_pm.emit(
+                self._sim.now, "pm", "rem_addr", self._name,
+                {"address_id": address_id},
+            )
         self._path_manager.on_rem_addr(conn, address_id)
 
     # ------------------------------------------------------------------
@@ -427,11 +459,54 @@ class MptcpStack:
     # ------------------------------------------------------------------
     def on_local_address_up(self, iface: Interface) -> None:
         """A local interface came up."""
+        if self._trace_pm is not None:
+            self._trace_pm.emit(
+                self._sim.now, "pm", "address_up", self._name,
+                {"iface": iface.full_name},
+            )
         self._path_manager.on_local_address_up(iface)
 
     def on_local_address_down(self, iface: Interface) -> None:
         """A local interface went down."""
+        if self._trace_pm is not None:
+            self._trace_pm.emit(
+                self._sim.now, "pm", "address_down", self._name,
+                {"iface": iface.full_name},
+            )
         self._path_manager.on_local_address_down(iface)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def counters(self) -> dict[str, int]:
+        """Named monotonic counters for this stack (sorted keys).
+
+        The per-stack scope of the ``repro.obs`` counter registry:
+        demux and handshake totals kept live on the stack, plus
+        socket-level segment and retransmission counts summed over every
+        connection — closed connections included, via the retired
+        accumulators folded in at close time.
+        """
+        retransmissions = self._retired_retransmissions
+        segments_sent = self._retired_segments_sent
+        segments_received = self._retired_segments_received
+        for conn in self._connections:
+            for flow in conn.subflows:
+                sock = flow.socket
+                retransmissions += sock.total_retransmissions
+                segments_sent += sock.segments_sent
+                segments_received += sock.segments_received
+        return {
+            "connections_accepted": self.connections_accepted,
+            "connections_fallen_back": self.connections_fallen_back,
+            "connections_initiated": self.connections_initiated,
+            "resets_sent": self.resets_sent,
+            "retransmissions": retransmissions,
+            "segments_delivered": self.segments_delivered,
+            "segments_received": segments_received,
+            "segments_sent": segments_sent,
+            "segments_unmatched": self.segments_unmatched,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

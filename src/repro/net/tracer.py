@@ -58,8 +58,13 @@ class PacketTracer:
 
     @property
     def records(self) -> list[PacketRecord]:
-        """All captured records, in capture order (do not mutate)."""
-        return self._records
+        """All captured records, in capture order.
+
+        Returns a fresh list on every access: the internal buffer keeps
+        growing while links deliver, and handing it out directly let
+        callers mutate (or be surprised by) the tracer's own state.
+        """
+        return list(self._records)
 
     def attach(self, link: Link) -> "PacketTracer":
         """Start capturing deliveries on ``link``.  Returns ``self``."""

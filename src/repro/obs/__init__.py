@@ -1,0 +1,42 @@
+"""``repro.obs`` — cross-cutting observability for the simulator.
+
+Three pieces, all deterministic and all free when unused:
+
+* **Structured event tracing** (:mod:`repro.obs.events`): an opt-in,
+  bounded, category-filtered :class:`EventLog` stamped with simulated
+  time.  Instrumentation hooks live in the stack itself — connection
+  and subflow state transitions, scheduler decisions, path-manager
+  actions, timer fires and retransmissions, fault applications,
+  fallback transitions — but cost a single ``None`` check when no log
+  is attached to ``Simulator.event_log``.
+* **Counters** (:mod:`repro.obs.counters`): named monotonic counters
+  per scope, pulled (never pushed) at collect time by the ``events``
+  probe.
+* **Exports and telemetry** (:mod:`repro.obs.export`,
+  :mod:`repro.obs.telemetry`): byte-stable JSONL and Chrome-trace-format
+  dumps of a log, and per-cell :class:`CellTelemetry` the sweep engine
+  records outside the config hash and gated payloads.
+"""
+
+from repro.obs.counters import CounterRegistry, stack_counters
+from repro.obs.events import CATEGORIES, DEFAULT_LIMIT, EventLog, TraceEvent
+from repro.obs.export import chrome_trace, events_jsonl
+from repro.obs.telemetry import (
+    CellTelemetry,
+    format_telemetry_report,
+    summarize_telemetry,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "DEFAULT_LIMIT",
+    "CellTelemetry",
+    "CounterRegistry",
+    "EventLog",
+    "TraceEvent",
+    "chrome_trace",
+    "events_jsonl",
+    "format_telemetry_report",
+    "stack_counters",
+    "summarize_telemetry",
+]

@@ -1,0 +1,61 @@
+"""Named monotonic counters, grouped by scope.
+
+Counters complement the event stream: an :class:`~repro.obs.events.EventLog`
+answers *when and in what order*, counters answer *how many in total*
+without the per-event cost.  A :class:`CounterRegistry` is a plain
+two-level dict — scope (a host stack, the fault injector...) to counter
+name to integer — with merge-add semantics so repeated collections from
+the same scope accumulate.
+
+The registry itself is passive: it never hooks the simulator.  The
+``events`` probe pulls stack counters at collect time via
+:func:`stack_counters`, which keeps the hot path completely untouched
+when observability is off.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+__all__ = ["CounterRegistry", "stack_counters"]
+
+
+class CounterRegistry:
+    """Monotonic counters keyed by ``scope`` then counter name.
+
+    ``record`` merges with addition, so collecting the same scope twice
+    accumulates; ``snapshot`` returns a fully sorted nested dict,
+    suitable for byte-stable JSON export.
+    """
+
+    def __init__(self) -> None:
+        self._scopes: Dict[str, Dict[str, int]] = {}
+
+    def record(self, scope: str, counters: Mapping[str, Any]) -> None:
+        """Merge-add ``counters`` into ``scope`` (values coerced to int)."""
+        bucket = self._scopes.setdefault(scope, {})
+        for name, value in counters.items():
+            bucket[name] = bucket.get(name, 0) + int(value)
+
+    def scope(self, name: str) -> Dict[str, int]:
+        """A copy of one scope's counters (empty dict when unknown)."""
+        return dict(self._scopes.get(name, {}))
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """All counters as a sorted ``{scope: {name: value}}`` dict."""
+        return {
+            scope: dict(sorted(counters.items()))
+            for scope, counters in sorted(self._scopes.items())
+        }
+
+
+def stack_counters(stack: Any) -> Dict[str, int]:
+    """The named monotonic counters of one MPTCP stack.
+
+    Thin collection point over ``MptcpStack.counters()`` so the probe
+    layer depends on ``repro.obs`` rather than reaching into stack
+    internals; see that method for the counter catalogue (connections
+    accepted/initiated/fallen back, segments demuxed and unmatched,
+    resets sent, socket-level segment and retransmission totals).
+    """
+    return dict(stack.counters())

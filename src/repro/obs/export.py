@@ -1,0 +1,95 @@
+"""Byte-stable exports of an :class:`~repro.obs.events.EventLog`.
+
+Two formats:
+
+* :func:`events_jsonl` — one compact, key-sorted JSON object per line,
+  the machine-diffable form (CI compares these with ``cmp``).
+* :func:`chrome_trace` — the Chrome/Perfetto ``traceEvents`` JSON
+  (load via ``chrome://tracing`` or https://ui.perfetto.dev) with one
+  timeline row per event subject, so a faulted downgrade cell reads as
+  "strip on ``path0``, then fallback on the connection row".
+
+Both are pure functions of the log: simulated-time stamps, first-seen
+subject ordering, ``sort_keys`` + compact separators.  Running the same
+cell twice — or on a different worker count — yields byte-identical
+output, which is what makes traces committable and ``cmp``-gateable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.events import EventLog
+
+__all__ = ["chrome_trace", "events_jsonl"]
+
+#: Chrome trace format uses microseconds; the simulator uses seconds.
+_US_PER_S = 1_000_000.0
+
+
+def events_jsonl(log: EventLog) -> str:
+    """The log as JSON Lines: one key-sorted compact object per event.
+
+    The final line is a summary record (``{"summary": ...}``) carrying
+    the recorded/dropped totals and per-category counts, so a truncated
+    trace is self-describing.
+    """
+    lines = [
+        json.dumps(event.as_dict(), sort_keys=True, separators=(",", ":"))
+        for event in log.events
+    ]
+    summary = {
+        "summary": {
+            "categories": list(log.categories),
+            "counts": log.counts_by_category(),
+            "dropped": log.dropped,
+            "recorded": len(log),
+        }
+    }
+    lines.append(json.dumps(summary, sort_keys=True, separators=(",", ":")))
+    return "\n".join(lines) + "\n"
+
+
+def chrome_trace(log: EventLog) -> str:
+    """The log as a Chrome-trace-format JSON document (one string).
+
+    Every event becomes an instant event (``"ph": "i"``, thread scope)
+    on a per-subject timeline row; rows are numbered in first-seen
+    order and named via ``thread_name`` metadata events, which keeps
+    the byte stream deterministic without any global subject registry.
+    """
+    tids: Dict[str, int] = {}
+    trace_events: List[Dict[str, Any]] = []
+    for event in log.events:
+        tid = tids.get(event.subject)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[event.subject] = tid
+        entry: Dict[str, Any] = {
+            "name": f"{event.category}:{event.name}",
+            "cat": event.category,
+            "ph": "i",
+            "s": "t",
+            "ts": event.time * _US_PER_S,
+            "pid": 1,
+            "tid": tid,
+        }
+        if event.detail:
+            entry["args"] = event.detail
+        trace_events.append(entry)
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": subject},
+        }
+        for subject, tid in tids.items()
+    ]
+    payload = {
+        "displayTimeUnit": "ms",
+        "traceEvents": metadata + trace_events,
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"

@@ -165,6 +165,11 @@ class Simulator:
         # Recycled fire-and-forget events (see schedule_pooled).
         self._free: list[ScheduledEvent] = []
         self.random = RandomSource(seed)
+        # Structured tracing hook (repro.obs).  Components cache
+        # per-category channels off this attribute at construction, so
+        # with no log attached the instrumented hot paths pay a single
+        # attribute load plus None check and build no event objects.
+        self.event_log = None
 
     # ------------------------------------------------------------------
     # introspection

@@ -27,6 +27,8 @@ class Timer:
         self._name = name
         self._event: Optional[ScheduledEvent] = None
         self._expiry: Optional[float] = None
+        log = sim.event_log
+        self._trace = log.channel("timer") if log is not None else None
 
     @property
     def name(self) -> str:
@@ -69,6 +71,8 @@ class Timer:
     def _fire(self) -> None:
         self._event = None
         self._expiry = None
+        if self._trace is not None:
+            self._trace.emit(self._sim.now, "timer", "fire", self._name)
         self._callback()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -100,6 +104,8 @@ class PeriodicTimer:
         self._event: Optional[ScheduledEvent] = None
         self._running = False
         self._ticks = 0
+        log = sim.event_log
+        self._trace = log.channel("timer") if log is not None else None
 
     @property
     def interval(self) -> float:
@@ -135,6 +141,8 @@ class PeriodicTimer:
         if not self._running:
             return
         self._ticks += 1
+        if self._trace is not None:
+            self._trace.emit(self._sim.now, "timer", "fire", self._name)
         self._callback()
         if self._running:
             self._event = self._sim.schedule(self._interval, self._fire)

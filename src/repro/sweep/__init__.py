@@ -23,7 +23,14 @@ from repro.sweep.baseline import (
     write_baseline,
 )
 from repro.sweep.cache import CellCache
-from repro.sweep.cells import CONTROLLERS, EXPERIMENTS, SCENARIOS, run_cell, trace_digest
+from repro.sweep.cells import (
+    CONTROLLERS,
+    EXPERIMENTS,
+    SCENARIOS,
+    run_cell,
+    run_cell_with_telemetry,
+    trace_digest,
+)
 from repro.sweep.diff import (
     DEFAULT_TOLERANCES,
     DIFF_FORMAT_VERSION,
@@ -46,6 +53,7 @@ __all__ = [
     "CampaignResult",
     "run_campaign",
     "run_cell",
+    "run_cell_with_telemetry",
     "trace_digest",
     "format_campaign_report",
     "format_diff_report",

@@ -16,6 +16,7 @@ registered workload is a sweep experiment over every registered scenario.
 
 from __future__ import annotations
 
+import time
 from typing import Mapping
 
 from repro.sweep.grid import CellSpec
@@ -34,7 +35,15 @@ SERVER_PORT = 9001
 #: Workloads double as the sweep's experiment axis.
 EXPERIMENTS: Mapping = WORKLOADS
 
-__all__ = ["SCENARIOS", "CONTROLLERS", "EXPERIMENTS", "SERVER_PORT", "run_cell", "trace_digest"]
+__all__ = [
+    "SCENARIOS",
+    "CONTROLLERS",
+    "EXPERIMENTS",
+    "SERVER_PORT",
+    "run_cell",
+    "run_cell_with_telemetry",
+    "trace_digest",
+]
 
 
 # ----------------------------------------------------------------------
@@ -76,3 +85,27 @@ def run_cell(spec_dict: Mapping, campaign_seed: int) -> dict:
     metrics["events_compacted"] = run.sim.compact()
     metrics["sim_time_end"] = run.sim.now
     return metrics
+
+
+def run_cell_with_telemetry(spec_dict: Mapping, campaign_seed: int) -> dict:
+    """Run one cell and wrap its metrics with execution telemetry.
+
+    The wrapper the engine actually ships to workers: the ``result``
+    entry is exactly :func:`run_cell`'s deterministic dict (the only
+    thing that reaches caches, baselines and canonical JSON), while the
+    ``telemetry`` entry carries the wall-clock side channel — wall time,
+    simulator events, events per wall second — that
+    :class:`repro.obs.telemetry.CellTelemetry` is built from.
+    """
+    started = time.perf_counter()
+    result = run_cell(spec_dict, campaign_seed)
+    wall = time.perf_counter() - started
+    sim_events = int(result.get("events_processed", 0))
+    return {
+        "result": result,
+        "telemetry": {
+            "wall_time_s": wall,
+            "sim_events": sim_events,
+            "events_per_s": (sim_events / wall) if wall > 0 else 0.0,
+        },
+    }

@@ -23,8 +23,9 @@ from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.obs.telemetry import CellTelemetry
 from repro.sweep.cache import CellCache
-from repro.sweep.cells import run_cell
+from repro.sweep.cells import run_cell_with_telemetry
 from repro.sweep.grid import CampaignGrid, CellSpec
 
 
@@ -36,6 +37,11 @@ class CellOutcome:
     config_hash: str
     result: dict
     cached: bool
+    telemetry: Optional[CellTelemetry] = None
+    """Wall-clock side channel (:class:`repro.obs.telemetry.CellTelemetry`).
+    Deliberately excluded from :meth:`CampaignResult.to_canonical_json`
+    and the cell cache: wall time varies run to run, the determinism
+    surface must not."""
 
 
 @dataclass
@@ -86,7 +92,7 @@ class CampaignResult:
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
-ProgressCallback = Callable[[CellSpec, dict, bool], None]
+ProgressCallback = Callable[[CellSpec, dict, bool, Optional[CellTelemetry]], None]
 
 
 class PoolUnavailableError(RuntimeError):
@@ -108,8 +114,10 @@ def _run_cells_parallel(
     Raises :class:`PoolUnavailableError` when the pool itself cannot be
     created or dies (restricted sandboxes, missing POSIX semaphores, killed
     workers); lets cell-level exceptions propagate untouched.
-    ``on_cell(index, result)`` fires in the parent process as each cell
-    completes (completion order, not grid order).
+    ``on_cell(index, payload)`` fires in the parent process as each cell
+    completes (completion order, not grid order); the payload is the
+    ``{"result", "telemetry"}`` wrapper of
+    :func:`repro.sweep.cells.run_cell_with_telemetry`.
     """
     try:
         pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
@@ -117,7 +125,7 @@ def _run_cells_parallel(
         raise PoolUnavailableError(f"cannot start a worker pool: {error}") from error
     with pool:
         futures = {
-            pool.submit(run_cell, spec.as_dict(), campaign_seed): index
+            pool.submit(run_cell_with_telemetry, spec.as_dict(), campaign_seed): index
             for index, spec in pending
         }
         for future in concurrent.futures.as_completed(futures):
@@ -148,8 +156,10 @@ def run_campaign(
         When given, completed cells are stored there keyed by config hash
         and reused on subsequent runs.
     progress:
-        Optional callback invoked as ``progress(spec, result, cached)``
-        after every cell, in completion order.
+        Optional callback invoked as ``progress(spec, result, cached,
+        telemetry)`` after every cell, in completion order.  The
+        telemetry argument is the cell's
+        :class:`~repro.obs.telemetry.CellTelemetry`.
     """
     if workers < 1:
         raise ValueError(f"workers must be at least 1, got {workers!r}")
@@ -162,14 +172,24 @@ def run_campaign(
 
     results: dict[int, dict] = {}
     cached_flags: dict[int, bool] = {}
+    telemetries: dict[int, CellTelemetry] = {}
     pending: list[tuple[int, CellSpec]] = []
     for index, (spec, config_hash) in enumerate(zip(specs, hashes)):
         entry = cache.get(config_hash) if cache is not None else None
         if entry is not None and "result" in entry:
             results[index] = entry["result"]
             cached_flags[index] = True
+            # A hit costs one JSON read; zero wall time keeps the cached
+            # rows out of the events/s statistics.
+            telemetries[index] = CellTelemetry(
+                key=spec.key,
+                cached=True,
+                wall_time_s=0.0,
+                sim_events=int(entry["result"].get("events_processed", 0)),
+                events_per_s=0.0,
+            )
             if progress is not None:
-                progress(spec, entry["result"], True)
+                progress(spec, entry["result"], True, telemetries[index])
         else:
             pending.append((index, spec))
 
@@ -178,11 +198,22 @@ def run_campaign(
     if pending:
         spec_by_index = dict(pending)
 
-        def on_cell(index: int, result: dict) -> None:
+        def on_cell(index: int, payload: dict) -> None:
             """Record one freshly computed cell (fires in completion order)."""
+            result = payload["result"]
+            stats = payload["telemetry"]
             results[index] = result
             cached_flags[index] = False
+            telemetries[index] = CellTelemetry(
+                key=spec_by_index[index].key,
+                cached=False,
+                wall_time_s=stats["wall_time_s"],
+                sim_events=stats["sim_events"],
+                events_per_s=stats["events_per_s"],
+            )
             if cache is not None:
+                # The cache entry stores the deterministic result only —
+                # telemetry is wall-clock noise and must never be replayed.
                 cache.put(
                     hashes[index],
                     {
@@ -192,7 +223,7 @@ def run_campaign(
                     },
                 )
             if progress is not None:
-                progress(spec_by_index[index], result, False)
+                progress(spec_by_index[index], result, False, telemetries[index])
 
         if workers_used > 1:
             try:
@@ -206,7 +237,10 @@ def run_campaign(
             # pool did not get to before breaking.
             for index, spec in pending:
                 if index not in results:
-                    on_cell(index, run_cell(spec.as_dict(), grid.campaign_seed))
+                    on_cell(
+                        index,
+                        run_cell_with_telemetry(spec.as_dict(), grid.campaign_seed),
+                    )
 
     cells = [
         CellOutcome(
@@ -214,6 +248,7 @@ def run_campaign(
             config_hash=hashes[index],
             result=results[index],
             cached=cached_flags[index],
+            telemetry=telemetries.get(index),
         )
         for index, spec in enumerate(specs)
     ]

@@ -170,6 +170,8 @@ class TcpSocket:
         self._syn_sent_at: Optional[float] = None
         self._syn_retries = 0
         self._dupacks = 0
+        log = sim.event_log
+        self._trace_timer = log.channel("timer") if log is not None else None
 
         # Statistics exposed via TcpInfo / used by the experiments.
         self.total_retransmissions = 0
@@ -717,6 +719,11 @@ class TcpSocket:
         sent.transmissions += 1
         sent.last_sent_at = self._sim.now
         self.total_retransmissions += 1
+        if self._trace_timer is not None:
+            self._trace_timer.emit(
+                self._sim.now, "timer", "retransmit", self._name,
+                {"seq": sent.seq, "length": sent.length},
+            )
         options = self._observer.data_options(self, sent.metadata)
         self._emit(
             flags=TCPFlags.ACK | TCPFlags.PSH,
@@ -787,6 +794,11 @@ class TcpSocket:
         self.rtt.on_timeout()
         consecutive = self.rtt.backoff_exponent
         new_rto = self.rtt.rto
+        if self._trace_timer is not None:
+            self._trace_timer.emit(
+                self._sim.now, "timer", "rto_expired", self._name,
+                {"rto": new_rto, "consecutive": consecutive},
+            )
         if consecutive > self._config.max_rto_doublings:
             # The Linux kernel gives up after ~15 doublings and the subflow
             # is terminated; §4.2 measures this taking about 12 minutes.
@@ -797,6 +809,11 @@ class TcpSocket:
         else:
             # Only the FIN is outstanding: retransmit it.
             self.total_retransmissions += 1
+            if self._trace_timer is not None:
+                self._trace_timer.emit(
+                    self._sim.now, "timer", "retransmit", self._name,
+                    {"seq": self._fin_seq, "length": 0},
+                )
             self._emit(
                 flags=TCPFlags.FIN | TCPFlags.ACK,
                 seq=self._fin_seq,

@@ -34,6 +34,7 @@ from repro.workloads.probes import (
     PROBES,
     AggregateProbe,
     AppLatencyProbe,
+    EventsProbe,
     FallbackProbe,
     FaultProbe,
     GoodputProbe,
@@ -75,6 +76,7 @@ __all__ = [
     "FaultProbe",
     "FallbackProbe",
     "AggregateProbe",
+    "EventsProbe",
     "PROBES",
     "DEFAULT_PROBES",
     "make_probe",

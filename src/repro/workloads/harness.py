@@ -116,6 +116,9 @@ class HarnessRun:
     """Per-connection primary :class:`MptcpConnection` objects (``None``
     for not-yet-started slots and for connection-per-request workloads),
     aligned with :attr:`drivers`."""
+    server_stack: Any = None
+    """The server-side :class:`MptcpStack` (counter collection needs
+    both ends; ``None`` only in hand-built runs that skip the server)."""
 
     def probe(self, name: str) -> Probe:
         """Look up one of the run's probes by registry name."""
@@ -248,6 +251,7 @@ class Harness:
             probe_timings=probe_timings,
             drivers=drivers,
             connections=conn_list,
+            server_stack=server_stack,
         )
 
         if n_connections > 1:

@@ -292,6 +292,63 @@ class AggregateProbe(Probe):
         return metrics
 
 
+class EventsProbe(Probe):
+    """Structured event tracing and stack counters (``repro.obs``).
+
+    Strictly opt-in: the probe attaches an
+    :class:`~repro.obs.events.EventLog` to ``sim.event_log`` only when
+    the cell's params carry a truthy ``event_log``, and collects nothing
+    (an empty dict) otherwise — so its presence in the default probe set
+    leaves ordinary cells, and the committed baselines, byte-identical.
+    Because params are part of the config hash, enabling it changes the
+    cell key, which keeps traced results from ever colliding with
+    untraced cache entries.
+
+    Params understood: ``event_log`` (truthy switch),
+    ``event_log_categories`` (comma-separated string or sequence;
+    default: all categories) and ``event_log_limit`` (retention cap).
+    Collected metrics: ``events_recorded``, ``events_dropped``, the
+    per-category ``event_counts`` and the per-scope ``event_counters``
+    (client/server stack counters plus fault-injector stats).
+    """
+
+    name = "events"
+
+    def __init__(self) -> None:
+        self.log = None
+
+    def attach(self, ctx: HarnessContext) -> None:
+        if not ctx.params.get("event_log"):
+            return
+        from repro.obs import DEFAULT_LIMIT, EventLog
+
+        categories = ctx.params.get("event_log_categories")
+        if isinstance(categories, str):
+            categories = [part.strip() for part in categories.split(",") if part.strip()]
+        limit = int(ctx.params.get("event_log_limit", DEFAULT_LIMIT))
+        self.log = EventLog(categories=categories, limit=limit)
+        ctx.sim.event_log = self.log
+
+    def collect(self, run: "HarnessRun") -> dict[str, Any]:
+        if self.log is None:
+            return {}
+        from repro.obs import CounterRegistry, stack_counters
+
+        registry = CounterRegistry()
+        registry.record("client", stack_counters(run.client.stack))
+        if run.server_stack is not None:
+            registry.record("server", stack_counters(run.server_stack))
+        injector = getattr(run.scenario, "fault_injector", None)
+        if injector is not None:
+            registry.record("faults", injector.stats())
+        return {
+            "events_recorded": len(self.log),
+            "events_dropped": self.log.dropped,
+            "event_counts": self.log.counts_by_category(),
+            "event_counters": registry.snapshot(),
+        }
+
+
 #: Probe factories by registry name (the sweep cell runner's default set).
 PROBES: dict[str, Callable[[], Probe]] = {
     "trace": TraceProbe,
@@ -301,11 +358,13 @@ PROBES: dict[str, Callable[[], Probe]] = {
     "faults": FaultProbe,
     "fallback": FallbackProbe,
     "aggregate": AggregateProbe,
+    "events": EventsProbe,
 }
 
 #: The probes every sweep cell runs, in collection order.
 DEFAULT_PROBES: tuple[str, ...] = (
-    "trace", "goodput", "subflows", "app_latency", "faults", "fallback", "aggregate"
+    "trace", "goodput", "subflows", "app_latency", "faults", "fallback",
+    "aggregate", "events",
 )
 
 

@@ -6,9 +6,9 @@ two documentation surfaces part of the test contract:
 
 1. ``docs/CLI.md`` must cover every subcommand registered on the actual
    argparse parser (read from ``build_parser()``, not a hand-kept list).
-2. Every module — and every public class and function — of the three
+2. Every module — and every public class and function — of the
    user-facing packages (``repro.workloads``, ``repro.sweep``,
-   ``repro.faults``) must carry a docstring.  The check is pure
+   ``repro.faults``, ``repro.obs``) must carry a docstring.  The check is pure
    ``inspect`` so it runs anywhere the test suite runs; CI additionally
    runs ``interrogate`` over the whole tree.
 """
@@ -28,7 +28,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCS = REPO_ROOT / "docs"
 
 #: The packages whose public surface the docstring gate covers.
-DOCUMENTED_PACKAGES = ("repro.workloads", "repro.sweep", "repro.faults")
+DOCUMENTED_PACKAGES = ("repro.workloads", "repro.sweep", "repro.faults", "repro.obs")
 
 
 def registered_subcommands() -> list[str]:
@@ -82,7 +82,7 @@ class TestArchitectureDoc:
         text = (DOCS / "ARCHITECTURE.md").read_text(encoding="utf-8")
         for package in ("repro.sim", "repro.net", "repro.tcp", "repro.mptcp",
                         "repro.workloads", "repro.sweep", "repro.faults",
-                        "repro.analysis"):
+                        "repro.analysis", "repro.obs"):
             assert f"`{package}`" in text, f"subsystem map is missing {package}"
 
 

@@ -143,7 +143,11 @@ class TestEngine:
     def test_progress_callback_sees_every_cell(self):
         seen = []
         grid = tiny_grid(controllers=["passive", "fullmesh"])
-        run_campaign(grid, workers=1, progress=lambda spec, result, cached: seen.append(spec.key))
+        run_campaign(
+            grid,
+            workers=1,
+            progress=lambda spec, result, cached, telemetry: seen.append(spec.key),
+        )
         assert sorted(seen) == sorted(cell.key for cell in grid.expand())
 
     def test_workers_must_be_positive(self):
@@ -202,7 +206,10 @@ class TestRunnerIntegration:
         from repro.experiments import runner
 
         opt_in = runner.OPT_IN
-        assert {"sweep", "cell", "list", "baseline", "diff", "fuzz", "bench"} == set(opt_in)
+        assert {
+            "sweep", "cell", "list", "baseline", "diff", "fuzz", "bench",
+            "trace", "telemetry",
+        } == set(opt_in)
         ran = []
         monkeypatch.setattr(
             runner, "EXPERIMENTS", {name: lambda args, name=name: ran.append(name) or ""

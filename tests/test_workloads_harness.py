@@ -231,7 +231,7 @@ class TestProbeOverheadAndTraceOptOut:
         overhead = run.metrics["probe_overhead_s"]
         assert set(overhead) == {
             "trace", "goodput", "subflows", "app_latency", "faults", "fallback",
-            "aggregate",
+            "aggregate", "events",
         }
         assert all(value >= 0.0 for value in overhead.values())
 
