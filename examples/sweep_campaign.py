@@ -33,7 +33,7 @@ def main() -> None:
     )
     print(f"expanding '{grid.name}': {grid.cell_count} cells, workers={workers}, cache={cache_dir}")
 
-    def progress(spec, result, cached):
+    def progress(spec, result, cached, telemetry):
         marker = "cache" if cached else "ran  "
         headline = result.get("completion_time")
         rendered = f"{headline:.3f}s" if headline is not None else "incomplete"

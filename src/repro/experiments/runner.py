@@ -89,12 +89,20 @@ def _sweep_progress_printer(total: int) -> Callable:
     return on_cell
 
 
+def _campaign_kwargs(args: argparse.Namespace) -> dict:
+    """The ``run_campaign`` keywords shared by every campaign subcommand."""
+    return {
+        "workers": args.workers,
+        "cache_dir": args.cache_dir,
+        "backend": getattr(args, "backend", None),
+        "store_dir": getattr(args, "store", None),
+    }
+
+
 def _run_sweep(args: argparse.Namespace) -> str:
     grid = named_grid(args.grid, campaign_seed=args.seed)
     progress = _sweep_progress_printer(grid.cell_count) if args.progress else None
-    result = run_campaign(
-        grid, workers=args.workers, cache_dir=args.cache_dir, progress=progress
-    )
+    result = run_campaign(grid, progress=progress, **_campaign_kwargs(args))
     if progress is not None:
         print(file=sys.stderr, flush=True)
     return format_campaign_report(result)
@@ -145,7 +153,7 @@ def _run_telemetry(args: argparse.Namespace) -> str:
     from repro.obs import format_telemetry_report, summarize_telemetry
 
     grid = named_grid(args.grid, campaign_seed=args.seed)
-    result = run_campaign(grid, workers=args.workers, cache_dir=args.cache_dir)
+    result = run_campaign(grid, **_campaign_kwargs(args))
     summary = summarize_telemetry(
         [cell.telemetry for cell in result.cells], top=args.top
     )
@@ -163,7 +171,7 @@ def _run_baseline(args: argparse.Namespace) -> str:
     from repro.sweep.baseline import write_baseline
 
     grid = named_grid(args.grid, campaign_seed=args.seed)
-    result = run_campaign(grid, workers=args.workers, cache_dir=args.cache_dir)
+    result = run_campaign(grid, **_campaign_kwargs(args))
     baseline = write_baseline(result, args.out)
     return (
         f"wrote baseline '{baseline.name}' ({baseline.cell_count} cells, "
@@ -176,13 +184,19 @@ def _run_diff(args: argparse.Namespace) -> HandlerResult:
 
     The reference (left) side is always the ``--baseline`` snapshot file.
     The candidate (right) side is, in order of preference: another
-    snapshot file (``--candidate``), the on-disk cell cache alone
-    (``--from-cache``, no cells are run), or a fresh run of ``--grid``
-    (which still reuses ``--cache-dir`` when given).  Grid name and
-    campaign seed default to the snapshot's own, so the common call is
-    just ``diff --baseline baselines/<grid>.json``.
+    snapshot file (``--candidate``), the campaign store alone
+    (``--from-store``, no cells are run), the legacy cell cache alone
+    (``--from-cache``), or a fresh run of ``--grid`` (which still reuses
+    ``--store``/``--cache-dir`` when given).  Grid name and campaign seed
+    default to the snapshot's own, so the common call is just
+    ``diff --baseline baselines/<grid>.json``.
     """
-    from repro.sweep.baseline import Baseline, baseline_from_cache, load_baseline
+    from repro.sweep.baseline import (
+        Baseline,
+        baseline_from_cache,
+        baseline_from_store,
+        load_baseline,
+    )
     from repro.sweep.diff import diff_campaigns
 
     reference = load_baseline(args.baseline)
@@ -191,7 +205,9 @@ def _run_diff(args: argparse.Namespace) -> HandlerResult:
             flag for flag, value in (
                 ("--grid", args.grid), ("--seed", args.seed),
                 ("--cache-dir", args.cache_dir),
+                ("--store", args.store),
                 ("--from-cache", args.from_cache or None),
+                ("--from-store", args.from_store or None),
             ) if value is not None
         ]
         if conflicting:
@@ -204,12 +220,16 @@ def _run_diff(args: argparse.Namespace) -> HandlerResult:
         grid_name = args.grid if args.grid is not None else reference.name
         seed = args.seed if args.seed is not None else reference.campaign_seed
         grid = named_grid(grid_name, campaign_seed=seed)
-        if args.from_cache:
+        if args.from_store:
+            if args.store is None:
+                raise SystemExit("diff --from-store requires --store")
+            candidate = baseline_from_store(grid, args.store)
+        elif args.from_cache:
             if args.cache_dir is None:
                 raise SystemExit("diff --from-cache requires --cache-dir")
             candidate = baseline_from_cache(grid, args.cache_dir)
         else:
-            result = run_campaign(grid, workers=args.workers, cache_dir=args.cache_dir)
+            result = run_campaign(grid, **_campaign_kwargs(args))
             candidate = Baseline.from_result(result, source=f"run of grid '{grid_name}'")
 
     diff = diff_campaigns(reference, candidate)
@@ -236,14 +256,22 @@ def _run_fuzz(args: argparse.Namespace) -> HandlerResult:
     from repro.experiments.grids import fuzz_grid
 
     grid = fuzz_grid(campaign_seed=args.seed, seeds=args.seeds)
-    result = run_campaign(grid, workers=args.workers, cache_dir=args.cache_dir)
+    result = run_campaign(grid, **_campaign_kwargs(args))
     triage = triage_campaign(result, goodput_floor=args.goodput_floor)
     if args.json is not None:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(triage_json(triage))
+    report = format_fault_report(triage)
+    if args.store is not None:
+        # The campaign's cells are already in the store; file the triage
+        # report next to them so the corpus keeps verdict history too.
+        from repro.store import CampaignStore
+
+        triage_hash = CampaignStore(args.store).put_artifact("triage", triage)
+        report += f"\ntriage artifact {triage_hash} filed in store {args.store}"
     failed = triage["verdicts"].get("failed", 0)
     code = 1 if (args.fail_on_failed and failed) else 0
-    return format_fault_report(triage), code
+    return report, code
 
 
 def _run_shrink(args: argparse.Namespace) -> HandlerResult:
@@ -318,7 +346,97 @@ def _run_shrink(args: argparse.Namespace) -> HandlerResult:
     lines.extend(f"  {event.describe()}" for event in result.minimal.events)
     if args.out is not None:
         lines.append(f"counterexample written to {args.out}")
+    if args.store is not None:
+        # Corpus management: identical minimal plans deduplicate to one
+        # content-addressed artifact, so the corpus only grows on novelty.
+        from repro.store import CampaignStore
+
+        artifact_hash = CampaignStore(args.store).put_artifact("counterexample", artifact)
+        lines.append(f"counterexample artifact {artifact_hash} filed in store {args.store}")
     return "\n".join(lines)
+
+
+def _run_worker(args: argparse.Namespace) -> str:
+    """Execute one shard plan against a campaign store (a backend child).
+
+    The receiving end of :class:`repro.sweep.backends.SubprocessShardBackend`
+    — and the template for remote execution: anything that can invoke this
+    subcommand against a shared store (SSH, a container job) is a sweep
+    worker.  Already-stored cells are skipped, so re-spawning a worker
+    after a crash recomputes only the gap.
+    """
+    from repro.sweep.backends import run_worker_shard
+
+    summary = run_worker_shard(args.plan, args.store)
+    return (
+        f"worker: {summary['cells']} cell(s) in shard, "
+        f"{summary['ran']} computed, {summary['skipped']} already stored"
+    )
+
+
+def _format_store_stats(store) -> list[str]:
+    """Human rendering of :meth:`CampaignStore.stats`."""
+    stats = store.stats()
+    lines = [
+        f"store {stats['root']}:",
+        f"  objects: {stats['objects']} ({stats['object_bytes']} bytes)",
+        f"  legacy flat entries: {stats['legacy_entries']}",
+        f"  campaigns: {stats['campaigns']}, manifests: {stats['manifests']}",
+    ]
+    for campaign_id in stats["campaign_ids"]:
+        manifest = store.latest_manifest(campaign_id)
+        if manifest is None:
+            continue
+        status = "complete" if manifest.complete else (
+            f"partial ({len(manifest.completed)}/{len(manifest.cells)} cells)"
+        )
+        lines.append(
+            f"    {campaign_id}: '{manifest.name}' seed {manifest.campaign_seed}, "
+            f"{len(manifest.cells)} cells, {status}, latest commit #{manifest.sequence}"
+        )
+    for kind, count in sorted(stats["artifacts"].items()):
+        lines.append(f"  artifacts/{kind}: {count}")
+    return lines
+
+
+def _run_store(args: argparse.Namespace) -> HandlerResult:
+    """Inspect or maintain a campaign store (stats/migrate/manifest/verify)."""
+    from repro.store import CampaignStore
+
+    store = CampaignStore(args.store)
+    if args.action == "stats":
+        return "\n".join(_format_store_stats(store))
+    if args.action == "migrate":
+        counts = store.migrate_legacy_cache(args.from_cache)
+        source = args.from_cache if args.from_cache is not None else store.root
+        return (
+            f"migrated {counts['migrated']} legacy cell(s) from {source} "
+            f"into {store.objects_dir} "
+            f"({counts['skipped']} already stored, {counts['invalid']} invalid)"
+        )
+    if args.action == "manifest":
+        campaign_id = args.campaign
+        if campaign_id is None:
+            campaigns = store.campaign_ids()
+            if len(campaigns) != 1:
+                raise SystemExit(
+                    f"store holds {len(campaigns)} campaigns; pass --campaign "
+                    f"(have {campaigns})"
+                )
+            campaign_id = campaigns[0]
+        manifest = store.latest_manifest(campaign_id)
+        if manifest is None:
+            raise SystemExit(f"no manifest for campaign {campaign_id!r}")
+        return manifest.to_json().rstrip("\n")
+    if args.action == "verify":
+        problems = store.verify_objects()
+        if problems:
+            return "\n".join(
+                [f"store verify: {len(problems)} problem(s)"]
+                + [f"  {problem}" for problem in problems]
+            ), 1
+        return f"store verify: all {len(store)} object(s) ok"
+    raise SystemExit(f"unknown store action {args.action!r}")
 
 
 def _run_cell(args: argparse.Namespace) -> str:
@@ -435,6 +553,11 @@ def _list_registries(args: argparse.Namespace) -> str:
         f"{name} — {NAMED_PLANS[name].description} (base: {NAMED_PLANS[name].base_scenario})"
         for name in sorted(NAMED_PLANS)
     ]
+    from repro.sweep.backends import BACKENDS
+
+    backends = [
+        f"{name} — {BACKENDS[name].description}" for name in sorted(BACKENDS)
+    ] + ["auto — process pool when --workers > 1, serial otherwise (the default)"]
     sections = [
         ("workloads (sweep experiments)", sorted(WORKLOADS)),
         ("scenarios", sorted(SCENARIOS)),
@@ -444,6 +567,7 @@ def _list_registries(args: argparse.Namespace) -> str:
         ("middleboxes", sorted(MIDDLEBOXES)),
         ("fault models", fault_models),
         ("fault plans (named)", fault_plans),
+        ("execution backends (sweep --backend)", backends),
         ("grids", grids),
     ]
     lines = []
@@ -456,6 +580,10 @@ def _list_registries(args: argparse.Namespace) -> str:
         "'cell' or as a sweep grid axis; 'fuzz' sweeps fault-plan seeds and "
         "'fuzz --shrink' minimises a failing plan"
     )
+    if getattr(args, "store", None) is not None:
+        from repro.store import CampaignStore
+
+        lines.extend(_format_store_stats(CampaignStore(args.store)))
     return "\n".join(lines)
 
 
@@ -474,13 +602,17 @@ EXPERIMENTS: dict[str, Callable[[argparse.Namespace], HandlerResult]] = {
     "bench": _run_bench,
     "trace": _run_trace,
     "telemetry": _run_telemetry,
+    "worker": _run_worker,
+    "store": _run_store,
 }
 
 #: Subcommands ``all`` does not run: campaigns, single cells, the registry
-#: listing, the regression-gate pair, the fuzzer, the benchmark and the
-#: observability pair are opt-in via their own names.
+#: listing, the regression-gate pair, the fuzzer, the benchmark, the
+#: observability pair and the store/worker plumbing are opt-in via their
+#: own names.
 OPT_IN = frozenset(
-    {"sweep", "cell", "list", "baseline", "diff", "fuzz", "bench", "trace", "telemetry"}
+    {"sweep", "cell", "list", "baseline", "diff", "fuzz", "bench", "trace",
+     "telemetry", "worker", "store"}
 )
 
 
@@ -538,6 +670,24 @@ def _add_campaign_options(
     parser.add_argument("--workers", type=int, default=1, help="worker processes")
     parser.add_argument("--cache-dir", default=None,
                         help="directory for the on-disk cell cache")
+    _add_store_options(parser)
+
+
+def _add_store_options(parser: argparse.ArgumentParser) -> None:
+    """The execution-backend/store flags shared by campaign subcommands."""
+    from repro.sweep.backends import BACKENDS
+
+    parser.add_argument(
+        "--backend", default=None, choices=sorted(BACKENDS) + ["auto"],
+        help="execution backend for fresh cells (default auto: process pool "
+        "when --workers > 1, serial otherwise); results are byte-identical "
+        "across backends",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="content-addressed campaign store directory (cells and snapshot "
+        "manifests; resumes partial campaigns)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -611,6 +761,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="load the candidate purely from --cache-dir (error on missing cells)",
     )
     diff_parser.add_argument(
+        "--from-store", action="store_true",
+        help="load the candidate purely from --store (error on missing cells)",
+    )
+    diff_parser.add_argument(
         "--json", default=None, help="also write the machine-readable diff JSON here"
     )
 
@@ -624,6 +778,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_parser.add_argument("--workers", type=int, default=1, help="worker processes")
     fuzz_parser.add_argument("--cache-dir", default=None,
                              help="directory for the on-disk cell cache")
+    _add_store_options(fuzz_parser)
     fuzz_parser.add_argument("--json", default=None,
                              help="also write the byte-stable triage JSON here")
     fuzz_parser.add_argument("--goodput-floor", type=float, default=0.5,
@@ -731,8 +886,43 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--json", default=None,
                               help="also write the measured rates as JSON here")
 
-    subparsers.add_parser("list", parents=[seed_parent],
-                          help="print every registry the grid is built from")
+    list_parser = subparsers.add_parser(
+        "list", parents=[seed_parent],
+        help="print every registry the grid is built from",
+    )
+    list_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="also print object/manifest/artifact stats for this campaign store",
+    )
+
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help="execute one shard plan against a campaign store "
+        "(spawned by the subprocess backend; usable standalone for remote shards)",
+    )
+    worker_parser.add_argument("--store", required=True, metavar="DIR",
+                               help="campaign store the shard reads/writes")
+    worker_parser.add_argument("--plan", required=True, metavar="FILE",
+                               help="shard plan JSON written by the coordinating backend")
+
+    store_parser = subparsers.add_parser(
+        "store",
+        help="inspect or maintain a campaign store",
+    )
+    store_parser.add_argument(
+        "action", choices=("stats", "migrate", "manifest", "verify"),
+        help="stats: object/manifest/artifact counts; migrate: import a legacy "
+        "flat cell cache; manifest: print a campaign's latest snapshot manifest; "
+        "verify: recheck every object against its content hash (exit 1 on damage)",
+    )
+    store_parser.add_argument("--store", required=True, metavar="DIR",
+                              help="campaign store directory")
+    store_parser.add_argument("--from-cache", default=None, metavar="DIR",
+                              help="migrate: legacy cache directory to import "
+                              "(default: the store root's own flat entries)")
+    store_parser.add_argument("--campaign", default=None, metavar="ID",
+                              help="manifest: campaign id (default: the store's "
+                              "only campaign)")
     return parser
 
 

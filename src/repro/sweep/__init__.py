@@ -14,15 +14,27 @@ every registered scenario with the same probe-based metric extraction the
 figure presets use.
 """
 
+from repro.sweep.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    PoolUnavailableError,
+    ProcessPoolBackend,
+    SerialBackend,
+    SubprocessShardBackend,
+    resolve_backend,
+    run_worker_shard,
+)
 from repro.sweep.baseline import (
     BASELINE_FORMAT_VERSION,
     Baseline,
     BaselineCell,
     baseline_from_cache,
+    baseline_from_manifest,
+    baseline_from_store,
     load_baseline,
     write_baseline,
 )
-from repro.sweep.cache import CellCache
+from repro.sweep.cache import CellCache, atomic_write_text
 from repro.sweep.cells import (
     CONTROLLERS,
     EXPERIMENTS,
@@ -41,7 +53,15 @@ from repro.sweep.diff import (
     diff_campaigns,
     metric_family,
 )
-from repro.sweep.engine import CampaignResult, CellOutcome, run_campaign
+from repro.sweep.engine import (
+    CampaignPlan,
+    CampaignResult,
+    CellOutcome,
+    execute_plan,
+    merge_campaign,
+    plan_campaign,
+    run_campaign,
+)
 from repro.sweep.grid import CampaignGrid, CellSpec, SWEEP_FORMAT_VERSION
 from repro.sweep.report import format_campaign_report, format_diff_report
 
@@ -50,8 +70,21 @@ __all__ = [
     "CellSpec",
     "CellCache",
     "CellOutcome",
+    "CampaignPlan",
     "CampaignResult",
     "run_campaign",
+    "plan_campaign",
+    "execute_plan",
+    "merge_campaign",
+    "atomic_write_text",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "SubprocessShardBackend",
+    "PoolUnavailableError",
+    "BACKENDS",
+    "resolve_backend",
+    "run_worker_shard",
     "run_cell",
     "run_cell_with_telemetry",
     "trace_digest",
@@ -64,6 +97,8 @@ __all__ = [
     "Baseline",
     "BaselineCell",
     "baseline_from_cache",
+    "baseline_from_store",
+    "baseline_from_manifest",
     "load_baseline",
     "write_baseline",
     "BASELINE_FORMAT_VERSION",

@@ -7,11 +7,14 @@ turns every future PR into an automatically checked experiment: CI re-runs
 the grid and :mod:`repro.sweep.diff` compares the fresh cells against the
 snapshot cell by cell.
 
-Three sources produce the same :class:`Baseline` shape, so the diff layer
+Four sources produce the same :class:`Baseline` shape, so the diff layer
 never cares where a campaign came from:
 
 * a live run (:meth:`Baseline.from_result`),
-* the on-disk cell cache (:func:`baseline_from_cache`),
+* a content-addressed campaign store (:func:`baseline_from_store`, or
+  :func:`baseline_from_manifest` for a committed snapshot manifest),
+* a legacy on-disk cell cache (:func:`baseline_from_cache` — a shim over
+  the store's legacy read-through),
 * a committed snapshot file (:func:`load_baseline`).
 """
 
@@ -22,7 +25,7 @@ import os
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
-from repro.sweep.cache import CellCache, atomic_write_text
+from repro.sweep.cache import atomic_write_text
 from repro.sweep.engine import CampaignResult
 from repro.sweep.grid import CampaignGrid, SWEEP_FORMAT_VERSION
 
@@ -152,23 +155,28 @@ def load_baseline(path: str) -> Baseline:
     return Baseline.from_payload(payload, source=path)
 
 
-def baseline_from_cache(
+def baseline_from_store(
     grid: CampaignGrid,
-    cache_dir: str,
+    store,
     name: Optional[str] = None,
 ) -> Baseline:
-    """Assemble a baseline purely from the on-disk cell cache.
+    """Assemble a baseline purely from a campaign store's cell objects.
 
-    Every cell of ``grid`` must already be cached (a previous run with the
-    same campaign seed and ``cache_dir``); missing cells raise, naming the
-    first few, instead of silently producing a partial campaign.
+    ``store`` is a :class:`~repro.store.CampaignStore` or a path to one.
+    Every cell of ``grid`` must already be stored (a previous run with the
+    same campaign seed); missing cells raise, naming the first few,
+    instead of silently producing a partial campaign.  Legacy flat
+    :class:`CellCache` directories read through unchanged.
     """
-    cache = CellCache(cache_dir)
+    from repro.store import CampaignStore
+
+    if not isinstance(store, CampaignStore):
+        store = CampaignStore(store)
     cells: list[BaselineCell] = []
     missing: list[str] = []
     for spec in grid.expand():
         config_hash = spec.config_hash(grid.campaign_seed)
-        entry = cache.get(config_hash)
+        entry = store.get_cell(config_hash)
         if entry is None or "result" not in entry:
             missing.append(spec.key)
             continue
@@ -184,15 +192,89 @@ def baseline_from_cache(
         shown = ", ".join(missing[:5])
         more = f" (+{len(missing) - 5} more)" if len(missing) > 5 else ""
         raise ValueError(
-            f"cache {cache_dir!r} is missing {len(missing)} of "
+            f"store {store.root!r} is missing {len(missing)} of "
             f"{grid.cell_count} cells for grid {grid.name!r}: {shown}{more}"
         )
     return Baseline(
         name=name if name is not None else grid.name,
         campaign_seed=grid.campaign_seed,
         cells=cells,
-        source=cache_dir,
+        source=store.root,
     )
+
+
+def baseline_from_manifest(store, campaign_id: Optional[str] = None) -> Baseline:
+    """Assemble a baseline from a committed snapshot manifest.
+
+    Loads the latest manifest of ``campaign_id`` (or of the store's only
+    campaign when omitted) and reads every completed cell object it
+    names — the read path fault triage and the fuzz tooling share.
+    Partial manifests raise rather than producing a silently truncated
+    campaign.
+    """
+    from repro.store import CampaignStore
+
+    if not isinstance(store, CampaignStore):
+        store = CampaignStore(store)
+    if campaign_id is None:
+        campaigns = store.campaign_ids()
+        if len(campaigns) != 1:
+            raise ValueError(
+                f"store {store.root!r} holds {len(campaigns)} campaigns; "
+                f"pass campaign_id explicitly (have {campaigns})"
+            )
+        campaign_id = campaigns[0]
+    manifest = store.latest_manifest(campaign_id)
+    if manifest is None:
+        raise ValueError(f"store {store.root!r} has no manifest for campaign {campaign_id!r}")
+    if not manifest.complete:
+        raise ValueError(
+            f"campaign {campaign_id!r} is incomplete: "
+            f"{len(manifest.missing)} of {len(manifest.cells)} cells missing"
+        )
+    cells: list[BaselineCell] = []
+    for config_hash in manifest.cells:
+        entry = store.get_cell(config_hash)
+        if entry is None or "result" not in entry:
+            raise ValueError(
+                f"manifest names cell {config_hash} but the store object is missing/corrupt"
+            )
+        spec = dict(entry["spec"])
+        cells.append(
+            BaselineCell(
+                key=_spec_key(spec),
+                spec=spec,
+                config_hash=config_hash,
+                metrics=dict(entry["result"]),
+            )
+        )
+    return Baseline(
+        name=manifest.name,
+        campaign_seed=manifest.campaign_seed,
+        cells=cells,
+        source=f"{store.root}@{campaign_id}",
+    )
+
+
+def _spec_key(spec: Mapping) -> str:
+    """A stored spec's grid key, via :class:`~repro.sweep.grid.CellSpec`."""
+    from repro.sweep.grid import CellSpec
+
+    return CellSpec.from_dict(spec).key
+
+
+def baseline_from_cache(
+    grid: CampaignGrid,
+    cache_dir: str,
+    name: Optional[str] = None,
+) -> Baseline:
+    """Assemble a baseline from a legacy flat cell-cache directory.
+
+    A compatibility shim: the campaign store reads the flat
+    ``<hash>.json`` layout in place, so this simply delegates to
+    :func:`baseline_from_store` pointed at the cache directory.
+    """
+    return baseline_from_store(grid, cache_dir, name=name)
 
 
 def _normalise(campaign, source: Optional[str] = None) -> Baseline:

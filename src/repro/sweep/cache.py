@@ -1,9 +1,15 @@
 """On-disk cache of completed campaign cells.
 
 One JSON file per cell, named by the cell's config hash (see
-:meth:`CellSpec.config_hash`).  Writes are atomic (tmp file + rename) so a
-campaign interrupted mid-write never leaves a truncated entry behind, and
-concurrent workers writing the same cell simply race to an identical file.
+:meth:`CellSpec.config_hash`).  Writes are atomic and durable (tmp file +
+fsync + rename + directory fsync) so a campaign interrupted mid-write — or
+a machine crash right after the rename — never leaves a truncated or
+empty-but-renamed entry behind, and concurrent workers writing the same
+cell simply race to an identical file.
+
+This flat ``<hash>.json`` layout predates the content-addressed
+:class:`repro.store.CampaignStore`; the store reads it in place (the
+migration shim), so existing cache directories keep working.
 """
 
 from __future__ import annotations
@@ -13,19 +19,46 @@ import os
 import tempfile
 from typing import Optional
 
+from repro.sweep.grid import SWEEP_FORMAT_VERSION
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush a directory's entry table to disk (POSIX; no-op elsewhere).
+
+    After ``os.replace`` the *file* contents are durable but the rename
+    itself lives in the directory, which has its own write-back cache.
+    """
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        # Windows (and some exotic filesystems) cannot open directories;
+        # the rename is still atomic, just not crash-durable.
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
 
 def atomic_write_text(path: str, text: str) -> None:
     """Write ``text`` to ``path`` via a same-directory temp file + rename.
 
-    An interrupted write never leaves a truncated file behind, and
-    concurrent writers of the same path simply race to a complete file.
+    The temp file is fsynced before the rename and the directory after it,
+    so an interrupted write never leaves a truncated file behind and a
+    crash never surfaces an empty-but-renamed one.  Concurrent writers of
+    the same path simply race to a complete file.
     """
     directory = os.path.dirname(os.path.abspath(path))
     fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_path, path)
+        _fsync_directory(directory)
     except BaseException:
         try:
             os.unlink(tmp_path)
@@ -53,18 +86,33 @@ class CellCache:
         """The cached entry for ``config_hash``, or ``None``.
 
         Unreadable/corrupt entries are treated as misses: the cell is
-        simply recomputed and the entry rewritten.
+        simply recomputed and the entry rewritten.  Entries stamped with a
+        ``sweep_format_version`` other than the current one are also
+        misses — a stale-schema payload must never flow downstream.
+        Entries without the stamp predate it and are accepted (their
+        config-hash filename already encodes the version they were
+        computed under).
         """
         try:
             with open(self._path(config_hash), "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
         except (OSError, json.JSONDecodeError):
             return None
-        return entry if isinstance(entry, dict) else None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("sweep_format_version", SWEEP_FORMAT_VERSION) != SWEEP_FORMAT_VERSION:
+            return None
+        return entry
 
     def put(self, config_hash: str, entry: dict) -> None:
-        """Store ``entry`` (a JSON-serialisable dict) atomically."""
-        atomic_write_text(self._path(config_hash), json.dumps(entry, sort_keys=True))
+        """Store ``entry`` (a JSON-serialisable dict) atomically.
+
+        The entry is stamped with the current ``sweep_format_version`` so
+        :meth:`get` can reject it outright if the schema moves on.
+        """
+        payload = dict(entry)
+        payload.setdefault("sweep_format_version", SWEEP_FORMAT_VERSION)
+        atomic_write_text(self._path(config_hash), json.dumps(payload, sort_keys=True))
 
     def __len__(self) -> int:
         return sum(1 for name in os.listdir(self._directory) if name.endswith(".json"))

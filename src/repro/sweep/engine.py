@@ -1,4 +1,18 @@
-"""The campaign engine: expand, cache-check, run in parallel, aggregate.
+"""The campaign engine: plan, execute, merge.
+
+A campaign run is three explicit phases:
+
+1. **plan** — :func:`plan_campaign` expands the grid into cells and
+   content-addresses each one (:class:`CampaignPlan`);
+2. **execute** — :func:`execute_plan` resumes whatever the store/cache
+   already holds, hands the remaining cells to an
+   :class:`~repro.sweep.backends.ExecutionBackend` (serial, process pool,
+   or store-mediated subprocess shards), and records completions;
+3. **merge** — :func:`merge_campaign` reassembles the results in
+   grid-expansion order into a :class:`CampaignResult`.
+
+:func:`run_campaign` composes the three and is the API almost every
+caller wants.
 
 Determinism contract
 --------------------
@@ -6,27 +20,38 @@ Determinism contract
 ``(grid, campaign_seed)`` regardless of:
 
 * the number of workers (serial, 2, 4, ...),
+* which execution backend ran the cells,
 * the order in which workers finish cells,
-* whether results came from the on-disk cache or a fresh run.
+* whether results came from the store/cache or a fresh run,
+* whether the campaign ran once or resumed from a partial store.
 
 This holds because each cell seeds its own simulator purely from the
 campaign seed and the cell coordinates (:meth:`CellSpec.cell_seed`) and the
-engine reassembles results in grid-expansion order, never completion order.
+merge phase reassembles results in grid-expansion order, never completion
+order.  When a :class:`~repro.store.CampaignStore` is attached, the final
+snapshot manifest is byte-identical under the same conditions.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import json
 import time
-from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from repro.obs.telemetry import CellTelemetry
+from repro.sweep.backends import (
+    ExecutionBackend,
+    PoolUnavailableError,
+    SerialBackend,
+    resolve_backend,
+)
 from repro.sweep.cache import CellCache
-from repro.sweep.cells import run_cell_with_telemetry
-from repro.sweep.grid import CampaignGrid, CellSpec
+from repro.sweep.grid import SWEEP_FORMAT_VERSION, CampaignGrid, CellSpec
+
+#: Commit a partial snapshot manifest every this many fresh cells, so a
+#: killed campaign leaves a recent resume point behind.
+MANIFEST_COMMIT_INTERVAL = 16
 
 
 @dataclass
@@ -40,7 +65,7 @@ class CellOutcome:
     telemetry: Optional[CellTelemetry] = None
     """Wall-clock side channel (:class:`repro.obs.telemetry.CellTelemetry`).
     Deliberately excluded from :meth:`CampaignResult.to_canonical_json`
-    and the cell cache: wall time varies run to run, the determinism
+    and the cell store: wall time varies run to run, the determinism
     surface must not."""
 
 
@@ -57,6 +82,8 @@ class CampaignResult:
     cache_hits: int = 0
     cache_misses: int = 0
     wall_time: float = 0.0
+    backend: str = "serial"
+    campaign_id: str = ""
     notes: list[str] = field(default_factory=list)
 
     @property
@@ -73,9 +100,10 @@ class CampaignResult:
     def to_canonical_json(self) -> str:
         """Deterministic serialisation of specs and results.
 
-        Excludes run metadata (cache hits, workers, wall time) on purpose:
-        this is the byte-identity surface the determinism regression tests
-        compare across worker counts and cache states.
+        Excludes run metadata (cache hits, workers, backend, wall time) on
+        purpose: this is the byte-identity surface the determinism
+        regression tests compare across worker counts, backends and cache
+        states.
         """
         payload = {
             "name": self.name,
@@ -95,93 +123,106 @@ class CampaignResult:
 ProgressCallback = Callable[[CellSpec, dict, bool, Optional[CellTelemetry]], None]
 
 
-class PoolUnavailableError(RuntimeError):
-    """The platform could not provide (or keep alive) a worker pool.
+@dataclass(frozen=True)
+class CampaignPlan:
+    """The plan phase's output: the expanded grid, content-addressed.
 
-    Distinct from exceptions raised by a cell's own code, which must abort
-    the campaign instead of silently triggering a serial re-run.
+    ``specs`` and ``hashes`` are index-aligned and in grid-expansion order
+    (the merge order); ``campaign_id`` names the manifest chain this plan
+    resumes and commits to inside a :class:`~repro.store.CampaignStore`.
     """
 
+    grid: CampaignGrid
+    specs: tuple[CellSpec, ...]
+    hashes: tuple[str, ...]
+    campaign_id: str
 
-def _run_cells_parallel(
-    pending: list[tuple[int, CellSpec]],
-    campaign_seed: int,
-    workers: int,
-    on_cell: Callable[[int, dict], None],
-) -> None:
-    """Run cells on a process pool.
-
-    Raises :class:`PoolUnavailableError` when the pool itself cannot be
-    created or dies (restricted sandboxes, missing POSIX semaphores, killed
-    workers); lets cell-level exceptions propagate untouched.
-    ``on_cell(index, payload)`` fires in the parent process as each cell
-    completes (completion order, not grid order); the payload is the
-    ``{"result", "telemetry"}`` wrapper of
-    :func:`repro.sweep.cells.run_cell_with_telemetry`.
-    """
-    try:
-        pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
-    except (OSError, ImportError, NotImplementedError) as error:
-        raise PoolUnavailableError(f"cannot start a worker pool: {error}") from error
-    with pool:
-        futures = {
-            pool.submit(run_cell_with_telemetry, spec.as_dict(), campaign_seed): index
-            for index, spec in pending
-        }
-        for future in concurrent.futures.as_completed(futures):
-            try:
-                result = future.result()
-            except BrokenExecutor as error:
-                raise PoolUnavailableError(f"worker pool died: {error}") from error
-            on_cell(futures[future], result)
+    @property
+    def cell_count(self) -> int:
+        """Number of planned cells."""
+        return len(self.specs)
 
 
-def run_campaign(
-    grid: CampaignGrid,
-    workers: int = 1,
-    cache_dir: Optional[str] = None,
-    progress: Optional[ProgressCallback] = None,
-) -> CampaignResult:
-    """Run every cell of ``grid`` and aggregate the results.
+def plan_campaign(grid: CampaignGrid) -> CampaignPlan:
+    """Validate and expand a grid into a content-addressed plan."""
+    # Imported lazily: repro.store depends on repro.sweep.cache, so the
+    # store must never be a module-level dependency of the engine.
+    from repro.store import campaign_id_for
 
-    Parameters
-    ----------
-    workers:
-        Number of worker processes.  ``1`` runs serially in-process; higher
-        values use a ``ProcessPoolExecutor``.  If the platform refuses to
-        start the pool (restricted sandboxes), the engine falls back to a
-        serial run and flags it in the result — output is identical either
-        way.
-    cache_dir:
-        When given, completed cells are stored there keyed by config hash
-        and reused on subsequent runs.
-    progress:
-        Optional callback invoked as ``progress(spec, result, cached,
-        telemetry)`` after every cell, in completion order.  The
-        telemetry argument is the cell's
-        :class:`~repro.obs.telemetry.CellTelemetry`.
-    """
-    if workers < 1:
-        raise ValueError(f"workers must be at least 1, got {workers!r}")
     grid.validate()
-    started = time.monotonic()
+    specs = tuple(grid.expand())
+    hashes = tuple(spec.config_hash(grid.campaign_seed) for spec in specs)
+    return CampaignPlan(
+        grid=grid,
+        specs=specs,
+        hashes=hashes,
+        campaign_id=campaign_id_for(grid.name, grid.campaign_seed, hashes),
+    )
 
-    specs = grid.expand()
-    hashes = [spec.config_hash(grid.campaign_seed) for spec in specs]
-    cache = CellCache(cache_dir) if cache_dir is not None else None
 
-    results: dict[int, dict] = {}
-    cached_flags: dict[int, bool] = {}
-    telemetries: dict[int, CellTelemetry] = {}
+@dataclass
+class ExecutionState:
+    """The execute phase's output: per-index results and run metadata."""
+
+    results: dict[int, dict] = field(default_factory=dict)
+    cached_flags: dict[int, bool] = field(default_factory=dict)
+    telemetries: dict[int, CellTelemetry] = field(default_factory=dict)
+    workers_used: int = 0
+    parallel_fallback: bool = False
+    backend: str = "serial"
+
+
+def _plan_manifest(plan: CampaignPlan, done: set[int], complete: bool) -> "Manifest":
+    """The snapshot manifest for a plan with ``done`` indices completed."""
+    from repro.store import Manifest
+
+    return Manifest(
+        campaign_id=plan.campaign_id,
+        name=plan.grid.name,
+        campaign_seed=plan.grid.campaign_seed,
+        cells=plan.hashes,
+        completed=tuple(
+            config_hash
+            for index, config_hash in enumerate(plan.hashes)
+            if index in done
+        ),
+        complete=complete,
+        grid=plan.grid.as_dict(),
+    )
+
+
+def execute_plan(
+    plan: CampaignPlan,
+    workers: int = 1,
+    backend: Union[str, ExecutionBackend, None] = None,
+    store: Optional["CampaignStore"] = None,
+    cache: Optional[CellCache] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> ExecutionState:
+    """Run (or resume) every cell of a plan through a backend.
+
+    Cells already present in ``store`` (checked first) or ``cache`` are
+    reused — that is the resume path: a campaign killed mid-run leaves its
+    completed objects and a partial manifest behind, and the next
+    ``execute_plan`` of the same plan recomputes only the missing cells.
+    Fresh results are written to both ``store`` and ``cache`` when given.
+    When a store is attached, partial manifests are committed as the run
+    progresses and a complete one when every cell is in.
+    """
+    campaign_seed = plan.grid.campaign_seed
+    state = ExecutionState()
+
     pending: list[tuple[int, CellSpec]] = []
-    for index, (spec, config_hash) in enumerate(zip(specs, hashes)):
-        entry = cache.get(config_hash) if cache is not None else None
+    for index, (spec, config_hash) in enumerate(zip(plan.specs, plan.hashes)):
+        entry = store.get_cell(config_hash) if store is not None else None
+        if (entry is None or "result" not in entry) and cache is not None:
+            entry = cache.get(config_hash)
         if entry is not None and "result" in entry:
-            results[index] = entry["result"]
-            cached_flags[index] = True
+            state.results[index] = entry["result"]
+            state.cached_flags[index] = True
             # A hit costs one JSON read; zero wall time keeps the cached
             # rows out of the events/s statistics.
-            telemetries[index] = CellTelemetry(
+            state.telemetries[index] = CellTelemetry(
                 key=spec.key,
                 cached=True,
                 wall_time_s=0.0,
@@ -189,82 +230,187 @@ def run_campaign(
                 events_per_s=0.0,
             )
             if progress is not None:
-                progress(spec, entry["result"], True, telemetries[index])
+                progress(spec, entry["result"], True, state.telemetries[index])
         else:
             pending.append((index, spec))
 
-    fallback = False
+    if store is not None and pending:
+        # Record the plan (and what resume already found) before running a
+        # single cell, so even an immediately-killed campaign leaves a
+        # valid snapshot to resume from.
+        store.commit_manifest_if_changed(
+            _plan_manifest(plan, set(state.results), complete=False)
+        )
+
+    fresh_cells = 0
+
+    def on_cell(index: int, payload: dict) -> None:
+        """Record one freshly computed cell (fires in completion order)."""
+        nonlocal fresh_cells
+        spec = plan.specs[index]
+        result = payload["result"]
+        stats = payload["telemetry"]
+        state.results[index] = result
+        state.cached_flags[index] = False
+        state.telemetries[index] = CellTelemetry(
+            key=spec.key,
+            cached=False,
+            wall_time_s=stats["wall_time_s"],
+            sim_events=stats["sim_events"],
+            events_per_s=stats["events_per_s"],
+        )
+        # Storage holds the deterministic result only — telemetry is
+        # wall-clock noise and must never be replayed.
+        entry = {
+            "sweep_format_version": SWEEP_FORMAT_VERSION,
+            "spec": spec.as_dict(),
+            "campaign_seed": campaign_seed,
+            "result": result,
+        }
+        if store is not None:
+            store.put_cell(plan.hashes[index], entry)
+        if cache is not None:
+            cache.put(plan.hashes[index], entry)
+        fresh_cells += 1
+        if (
+            store is not None
+            and fresh_cells % MANIFEST_COMMIT_INTERVAL == 0
+            and len(state.results) < plan.cell_count
+        ):
+            store.commit_manifest_if_changed(
+                _plan_manifest(plan, set(state.results), complete=False)
+            )
+        if progress is not None:
+            progress(spec, result, False, state.telemetries[index])
+
     workers_used = min(workers, len(pending)) if pending else 0
     if pending:
-        spec_by_index = dict(pending)
-
-        def on_cell(index: int, payload: dict) -> None:
-            """Record one freshly computed cell (fires in completion order)."""
-            result = payload["result"]
-            stats = payload["telemetry"]
-            results[index] = result
-            cached_flags[index] = False
-            telemetries[index] = CellTelemetry(
-                key=spec_by_index[index].key,
-                cached=False,
-                wall_time_s=stats["wall_time_s"],
-                sim_events=stats["sim_events"],
-                events_per_s=stats["events_per_s"],
-            )
-            if cache is not None:
-                # The cache entry stores the deterministic result only —
-                # telemetry is wall-clock noise and must never be replayed.
-                cache.put(
-                    hashes[index],
-                    {
-                        "spec": spec_by_index[index].as_dict(),
-                        "campaign_seed": grid.campaign_seed,
-                        "result": result,
-                    },
-                )
-            if progress is not None:
-                progress(spec_by_index[index], result, False, telemetries[index])
-
-        if workers_used > 1:
+        backend_obj = resolve_backend(backend, workers_used)
+        state.backend = backend_obj.name
+        if not isinstance(backend_obj, SerialBackend):
             try:
-                _run_cells_parallel(pending, grid.campaign_seed, workers_used, on_cell)
+                backend_obj.run_cells(
+                    pending, campaign_seed, max(workers_used, 1), on_cell, store=store
+                )
             except PoolUnavailableError:
-                fallback = True
+                state.parallel_fallback = True
                 workers_used = 1
-        if workers_used <= 1:
+        # Serial path — the serial backend itself, and, after a backend
+        # failure, whatever cells the backend did not get to.
+        remaining = [(index, spec) for index, spec in pending if index not in state.results]
+        if remaining:
             workers_used = 1
-            # Serial path — and, after a pool failure, whatever cells the
-            # pool did not get to before breaking.
-            for index, spec in pending:
-                if index not in results:
-                    on_cell(
-                        index,
-                        run_cell_with_telemetry(spec.as_dict(), grid.campaign_seed),
-                    )
+            SerialBackend().run_cells(
+                remaining, campaign_seed, 1, on_cell, store=store
+            )
+    state.workers_used = workers_used
 
+    if store is not None and len(state.results) == plan.cell_count:
+        store.commit_manifest_if_changed(
+            _plan_manifest(plan, set(state.results), complete=True)
+        )
+    return state
+
+
+def merge_campaign(
+    plan: CampaignPlan,
+    state: ExecutionState,
+    workers_requested: int = 1,
+    wall_time: float = 0.0,
+) -> CampaignResult:
+    """Reassemble executed cells into a campaign, in grid-expansion order.
+
+    The merge never looks at completion order, which is what makes the
+    aggregated output byte-identical across backends and worker counts.
+    """
     cells = [
         CellOutcome(
             spec=spec,
-            config_hash=hashes[index],
-            result=results[index],
-            cached=cached_flags[index],
-            telemetry=telemetries.get(index),
+            config_hash=plan.hashes[index],
+            result=state.results[index],
+            cached=state.cached_flags[index],
+            telemetry=state.telemetries.get(index),
         )
-        for index, spec in enumerate(specs)
+        for index, spec in enumerate(plan.specs)
     ]
     outcome = CampaignResult(
-        name=grid.name,
-        campaign_seed=grid.campaign_seed,
+        name=plan.grid.name,
+        campaign_seed=plan.grid.campaign_seed,
         cells=cells,
-        workers_requested=workers,
-        workers_used=workers_used,
-        parallel_fallback=fallback,
-        cache_hits=sum(1 for cached in cached_flags.values() if cached),
-        cache_misses=sum(1 for cached in cached_flags.values() if not cached),
-        wall_time=time.monotonic() - started,
+        workers_requested=workers_requested,
+        workers_used=state.workers_used,
+        parallel_fallback=state.parallel_fallback,
+        cache_hits=sum(1 for cached in state.cached_flags.values() if cached),
+        cache_misses=sum(1 for cached in state.cached_flags.values() if not cached),
+        wall_time=wall_time,
+        backend=state.backend,
+        campaign_id=plan.campaign_id,
     )
-    if fallback:
+    if state.parallel_fallback:
         outcome.notes.append(
             "process pool unavailable on this platform; cells ran serially instead"
         )
     return outcome
+
+
+def run_campaign(
+    grid: CampaignGrid,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
+    backend: Union[str, ExecutionBackend, None] = None,
+    store_dir: Union[str, "CampaignStore", None] = None,
+) -> CampaignResult:
+    """Run every cell of ``grid`` and aggregate the results.
+
+    Plan → execute → merge, composed; see the phase functions for the
+    detailed contracts.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  Under the default ``backend``
+        (``None``/``"auto"``), ``1`` runs serially in-process and higher
+        values use a ``ProcessPoolExecutor``; if the platform refuses to
+        start the pool (restricted sandboxes), the engine falls back to a
+        serial run and flags it in the result — output is identical either
+        way.
+    cache_dir:
+        When given, completed cells are stored there in the legacy flat
+        :class:`CellCache` layout and reused on subsequent runs.
+    progress:
+        Optional callback invoked as ``progress(spec, result, cached,
+        telemetry)`` after every cell, in completion order.  The
+        telemetry argument is the cell's
+        :class:`~repro.obs.telemetry.CellTelemetry`.
+    backend:
+        An :class:`~repro.sweep.backends.ExecutionBackend` name
+        (``serial``, ``pool``, ``subprocess``), instance, or
+        ``None``/``"auto"`` for the worker-count-based default.
+    store_dir:
+        Path of (or an opened) :class:`~repro.store.CampaignStore`.  Cells
+        are resumed from and committed to the store, and snapshot
+        manifests are committed as the campaign progresses.
+    """
+    from repro.store import CampaignStore
+
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers!r}")
+    started = time.monotonic()
+    plan = plan_campaign(grid)
+    if isinstance(store_dir, CampaignStore):
+        store: Optional[CampaignStore] = store_dir
+    else:
+        store = CampaignStore(store_dir) if store_dir is not None else None
+    cache = CellCache(cache_dir) if cache_dir is not None else None
+    state = execute_plan(
+        plan,
+        workers=workers,
+        backend=backend,
+        store=store,
+        cache=cache,
+        progress=progress,
+    )
+    return merge_campaign(
+        plan, state, workers_requested=workers, wall_time=time.monotonic() - started
+    )

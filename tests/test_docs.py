@@ -28,7 +28,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCS = REPO_ROOT / "docs"
 
 #: The packages whose public surface the docstring gate covers.
-DOCUMENTED_PACKAGES = ("repro.workloads", "repro.sweep", "repro.faults", "repro.obs")
+DOCUMENTED_PACKAGES = (
+    "repro.workloads", "repro.sweep", "repro.faults", "repro.obs", "repro.store",
+)
 
 
 def registered_subcommands() -> list[str]:
@@ -82,7 +84,7 @@ class TestArchitectureDoc:
         text = (DOCS / "ARCHITECTURE.md").read_text(encoding="utf-8")
         for package in ("repro.sim", "repro.net", "repro.tcp", "repro.mptcp",
                         "repro.workloads", "repro.sweep", "repro.faults",
-                        "repro.analysis", "repro.obs"):
+                        "repro.analysis", "repro.obs", "repro.store"):
             assert f"`{package}`" in text, f"subsystem map is missing {package}"
 
 

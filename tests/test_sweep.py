@@ -94,17 +94,33 @@ class TestGrid:
 
 
 class TestCache:
-    def test_round_trip(self, tmp_path):
+    def test_round_trip_stamps_schema_version(self, tmp_path):
+        from repro.sweep import SWEEP_FORMAT_VERSION
+
         cache = CellCache(str(tmp_path / "cells"))
         assert cache.get("abc") is None
         cache.put("abc", {"result": {"x": 1}})
-        assert cache.get("abc") == {"result": {"x": 1}}
+        assert cache.get("abc") == {
+            "result": {"x": 1},
+            "sweep_format_version": SWEEP_FORMAT_VERSION,
+        }
         assert len(cache) == 1
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         cache = CellCache(str(tmp_path))
         (tmp_path / "bad.json").write_text("{truncated")
         assert cache.get("bad") is None
+
+    def test_stale_schema_version_is_a_miss(self, tmp_path):
+        """A mismatched stamp must never leak a stale-schema payload
+        downstream; an unstamped entry predates the stamp and is accepted."""
+        cache = CellCache(str(tmp_path))
+        (tmp_path / "old.json").write_text(
+            json.dumps({"result": {"x": 1}, "sweep_format_version": 1})
+        )
+        assert cache.get("old") is None
+        (tmp_path / "unstamped.json").write_text(json.dumps({"result": {"x": 1}}))
+        assert cache.get("unstamped") == {"result": {"x": 1}}
 
 
 class TestRegistries:
@@ -208,7 +224,7 @@ class TestRunnerIntegration:
         opt_in = runner.OPT_IN
         assert {
             "sweep", "cell", "list", "baseline", "diff", "fuzz", "bench",
-            "trace", "telemetry",
+            "trace", "telemetry", "worker", "store",
         } == set(opt_in)
         ran = []
         monkeypatch.setattr(
